@@ -1,0 +1,110 @@
+package setconsensus
+
+import (
+	"setconsensus/internal/baseline"
+	"setconsensus/internal/check"
+	"setconsensus/internal/core"
+	"setconsensus/internal/experiments"
+	"setconsensus/internal/knowledge"
+	"setconsensus/internal/model"
+	"setconsensus/internal/sim"
+	"setconsensus/internal/unbeat"
+	"setconsensus/internal/wire"
+)
+
+// Model types.
+type (
+	// Adversary is an input vector plus a crash failure pattern (§2.1).
+	Adversary = model.Adversary
+	// FailurePattern maps faulty processes to crash rounds and
+	// crash-round delivery sets.
+	FailurePattern = model.FailurePattern
+	// Builder assembles adversaries fluently.
+	Builder = model.Builder
+	// Params configures a protocol: n processes, crash bound t, degree k.
+	Params = core.Params
+	// Protocol is any decision protocol runnable by the simulator.
+	Protocol = sim.Protocol
+	// Result is a finished run with all decisions.
+	Result = sim.Result
+	// Decision is one process's (value, time) decision.
+	Decision = sim.Decision
+	// Graph is the knowledge substrate of one run: views, hidden nodes,
+	// hidden capacity, persistence.
+	Graph = knowledge.Graph
+	// Task is a k-set consensus task specification (uniform or not).
+	Task = check.Task
+	// CollapseParams configures the Fig. 4 separation family.
+	CollapseParams = model.CollapseParams
+	// BaselineKind selects a literature comparator protocol.
+	BaselineKind = baseline.Kind
+)
+
+// Baseline protocol kinds (§5's "all known protocols").
+const (
+	FloodMin    = baseline.FloodMin
+	EarlyCount  = baseline.EarlyCount
+	UEarlyCount = baseline.UEarlyCount
+	PerRound    = baseline.PerRound
+	UPerRound   = baseline.UPerRound
+)
+
+// NewBuilder starts an adversary over n processes with a default input.
+func NewBuilder(n int, defaultValue int) *Builder { return model.NewBuilder(n, defaultValue) }
+
+// NewOptmin builds the unbeatable nonuniform k-set consensus protocol
+// Optmin[k] (§4, Theorem 1).
+func NewOptmin(p Params) (Protocol, error) { return core.NewOptmin(p) }
+
+// NewUPmin builds the uniform k-set consensus protocol u-Pmin[k] (§5,
+// Theorem 3).
+func NewUPmin(p Params) (Protocol, error) { return core.NewUPmin(p) }
+
+// NewOpt0 builds the k=1 specialization Opt0 (unbeatable consensus, §3).
+func NewOpt0(n, t int) (Protocol, error) { return core.NewOpt0(n, t) }
+
+// NewUOpt0 builds the k=1 specialization u-Opt0 (uniform consensus).
+func NewUOpt0(n, t int) (Protocol, error) { return core.NewUOpt0(n, t) }
+
+// NewBaseline builds one of the literature comparators.
+func NewBaseline(kind BaselineKind, p Params) (Protocol, error) { return baseline.New(kind, p) }
+
+// Run executes a protocol against an adversary on the oracle simulator.
+func Run(p Protocol, adv *Adversary) *Result { return sim.Run(p, adv) }
+
+// NewGraph computes the knowledge graph of an adversary up to horizon.
+func NewGraph(adv *Adversary, horizon int) *Graph { return knowledge.New(adv, horizon) }
+
+// Verify checks a finished run against a task specification
+// (Decision / Validity / (Uniform) k-Agreement).
+func Verify(res *Result, task Task) error { return check.VerifyRun(res, task) }
+
+// Collapse builds the Fig. 4 separation family on which u-Pmin decides at
+// time 2 while every prior protocol needs ⌊t/k⌋+1.
+func Collapse(p CollapseParams) (*Adversary, error) { return model.Collapse(p) }
+
+// CollapseT returns the crash bound t of a Collapse configuration.
+func CollapseT(p CollapseParams) int { return model.CollapseT(p) }
+
+// HiddenPath builds the Fig. 1 hidden-path adversary.
+func HiddenPath(n, depth int) (*Adversary, error) { return model.HiddenPath(n, depth) }
+
+// HiddenChains builds the Fig. 2 hidden-chains adversary.
+func HiddenChains(n, c, m int, chainValues []int, defaultValue int) (*Adversary, error) {
+	return model.HiddenChains(n, c, m, chainValues, defaultValue)
+}
+
+// CannotDecide builds the Lemma 3 certificate that a high node with
+// hidden capacity ≥ k cannot decide in any protocol dominating Optmin[k].
+func CannotDecide(g *Graph, i, m, k int) (*unbeat.CannotDecideCert, error) {
+	return unbeat.CannotDecide(g, i, m, k)
+}
+
+// RunWire executes the Appendix E compact-message protocol (Optmin rule)
+// and reports decisions plus per-link bit counts.
+func RunWire(p Params, adv *Adversary) (*wire.Result, error) {
+	return wire.Run(wire.RuleOptmin, p, adv)
+}
+
+// Experiment regenerates one of the paper-reproduction tables (E1–E10).
+func Experiment(id string) (*experiments.Table, error) { return experiments.Run(id) }

@@ -1,0 +1,96 @@
+package setconsensus_test
+
+import (
+	"testing"
+
+	setconsensus "setconsensus"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	adv := setconsensus.NewBuilder(5, 2).Input(0, 0).MustBuild()
+	proto, err := setconsensus.NewOptmin(setconsensus.Params{N: 5, T: 2, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := setconsensus.Run(proto, adv)
+	if err := setconsensus.Verify(res, setconsensus.Task{K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Decisions[0]; d == nil || d.Value != 0 || d.Time != 0 {
+		t.Fatalf("low holder: %+v", d)
+	}
+}
+
+func TestFacadeUniformAndBaselines(t *testing.T) {
+	p := setconsensus.Params{N: 6, T: 3, K: 2}
+	adv := setconsensus.NewBuilder(6, 2).MustBuild()
+	u, err := setconsensus.NewUPmin(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setconsensus.Verify(setconsensus.Run(u, adv), setconsensus.Task{K: 2, Uniform: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []setconsensus.BaselineKind{
+		setconsensus.FloodMin, setconsensus.EarlyCount, setconsensus.UEarlyCount,
+		setconsensus.PerRound, setconsensus.UPerRound,
+	} {
+		b, err := setconsensus.NewBaseline(kind, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		task := setconsensus.Task{K: 2, Uniform: kind.Uniform()}
+		if err := setconsensus.Verify(setconsensus.Run(b, adv), task); err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+	}
+}
+
+func TestFacadeFamiliesAndKnowledge(t *testing.T) {
+	adv, err := setconsensus.HiddenPath(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := setconsensus.NewGraph(adv, 2)
+	if hc := g.HiddenCapacity(0, 2); hc < 1 {
+		t.Fatalf("HC = %d", hc)
+	}
+	chains, err := setconsensus.HiddenChains(12, 3, 2, []int{3, 3, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := setconsensus.NewGraph(chains, 2)
+	cert, err := setconsensus.CannotDecide(gc, 0, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cert.Forced) != 3 {
+		t.Fatalf("certificate: %d forced witnesses", len(cert.Forced))
+	}
+}
+
+func TestFacadeCollapseAndWire(t *testing.T) {
+	cp := setconsensus.CollapseParams{K: 2, R: 2, ExtraCorrect: 3}
+	adv, err := setconsensus.Collapse(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := setconsensus.Params{N: adv.N(), T: setconsensus.CollapseT(cp), K: 2}
+	res, err := setconsensus.RunWire(p, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxPairBits() == 0 {
+		t.Fatal("no bits accounted")
+	}
+}
+
+func TestFacadeExperiment(t *testing.T) {
+	tbl, err := setconsensus.Experiment("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty experiment table")
+	}
+}

@@ -1,0 +1,113 @@
+package setconsensus_test
+
+// One benchmark per experiment (DESIGN.md §4) plus the ablation benches
+// of DESIGN.md §7. Each BenchmarkEN regenerates the full table for its
+// figure/theorem; the per-operation time is the cost of reproducing that
+// piece of the paper end to end.
+
+import (
+	"testing"
+
+	"setconsensus/internal/core"
+	"setconsensus/internal/experiments"
+	"setconsensus/internal/knowledge"
+	"setconsensus/internal/model"
+	"setconsensus/internal/sim"
+	"setconsensus/internal/wire"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1HiddenPath(b *testing.B)       { benchExperiment(b, "E1") }
+func BenchmarkE2HiddenCapacity(b *testing.B)   { benchExperiment(b, "E2") }
+func BenchmarkE3ForcedDecisions(b *testing.B)  { benchExperiment(b, "E3") }
+func BenchmarkE4Separation(b *testing.B)       { benchExperiment(b, "E4") }
+func BenchmarkE5Sperner(b *testing.B)          { benchExperiment(b, "E5") }
+func BenchmarkE6Bounds(b *testing.B)           { benchExperiment(b, "E6") }
+func BenchmarkE7Unbeatability(b *testing.B)    { benchExperiment(b, "E7") }
+func BenchmarkE8StarConnectivity(b *testing.B) { benchExperiment(b, "E8") }
+func BenchmarkE9LastDecider(b *testing.B)      { benchExperiment(b, "E9") }
+func BenchmarkE10WireCost(b *testing.B)        { benchExperiment(b, "E10") }
+
+// Ablation: the knowledge-graph hidden-capacity tables (precomputed,
+// word-parallel bitsets) vs a naive per-query rescan.
+func BenchmarkHCPrecomputed(b *testing.B) {
+	adv, err := model.Collapse(model.CollapseParams{K: 3, R: 6, ExtraCorrect: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := knowledge.New(adv, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < adv.N(); p++ {
+			g.HiddenCapacity(p, 8)
+		}
+	}
+}
+
+func BenchmarkHCNaive(b *testing.B) {
+	adv, err := model.Collapse(model.CollapseParams{K: 3, R: 6, ExtraCorrect: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := knowledge.New(adv, 8)
+	naive := func(i, m int) int {
+		hc := adv.N()
+		for l := 0; l <= m; l++ {
+			c := 0
+			for j := 0; j < adv.N(); j++ {
+				if g.Hidden(i, m, j, l) {
+					c++
+				}
+			}
+			if c < hc {
+				hc = c
+			}
+		}
+		return hc
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < adv.N(); p++ {
+			naive(p, 8)
+		}
+	}
+}
+
+// Ablation: full-information oracle vs compact wire protocol on the same
+// run (decision-time-identical; the wire pays message handling, the
+// oracle pays view union).
+func BenchmarkOracleOptmin(b *testing.B) {
+	cp := model.CollapseParams{K: 3, R: 5, ExtraCorrect: 4}
+	adv, err := model.Collapse(cp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto := core.MustOptmin(core.Params{N: adv.N(), T: model.CollapseT(cp), K: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(proto, adv)
+	}
+}
+
+func BenchmarkWireOptmin(b *testing.B) {
+	cp := model.CollapseParams{K: 3, R: 5, ExtraCorrect: 4}
+	adv, err := model.Collapse(cp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.Params{N: adv.N(), T: model.CollapseT(cp), K: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Run(wire.RuleOptmin, p, adv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Command experiments regenerates the paper-reproduction tables E1–E10
+// (one per figure/theorem; see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments             # run everything
+//	experiments -id E4      # run one experiment
+//	experiments -list       # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"setconsensus/internal/experiments"
+)
+
+func main() {
+	id := flag.String("id", "", "experiment id (E1..E10); empty runs all")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			tbl, err := e.Gen()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-4s %s\n", e.ID, tbl.Title)
+		}
+		return
+	}
+	if *id != "" {
+		tbl, err := experiments.Run(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl.Render())
+		return
+	}
+	for _, e := range experiments.Registry() {
+		tbl, err := e.Gen()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl.Render())
+	}
+}

@@ -1,0 +1,175 @@
+// Command setconsensus runs a k-set consensus protocol against an
+// adversary described on the command line and prints the decision table.
+//
+// Examples:
+//
+//	# Optmin[2] on 6 processes with inputs 0,2,2,2,2,2 and one silent
+//	# round-1 crash of process 1:
+//	setconsensus -protocol optmin -k 2 -t 3 -inputs 0,2,2,2,2,2 -crash "1@1:"
+//
+//	# u-Pmin[3] on the Fig. 4 collapse family with R=4:
+//	setconsensus -protocol upmin -collapse-k 3 -collapse-r 4
+//
+// Crash syntax: "p@r:a,b" crashes process p in round r delivering only to
+// a and b; "p@r:" is a silent crash; "p@r:*" is a complete send. Multiple
+// crashes are separated by ';'.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	setconsensus "setconsensus"
+)
+
+func main() {
+	protoName := flag.String("protocol", "optmin", "optmin | upmin | floodmin | earlycount | u-earlycount | perround | u-perround")
+	k := flag.Int("k", 1, "coordination degree k")
+	t := flag.Int("t", -1, "crash bound t (default n−1)")
+	inputsFlag := flag.String("inputs", "", "comma-separated initial values")
+	crashFlag := flag.String("crash", "", "crash spec, e.g. \"1@1:2;3@2:*\"")
+	collapseK := flag.Int("collapse-k", 0, "build the Fig. 4 collapse family with this k instead of -inputs/-crash")
+	collapseR := flag.Int("collapse-r", 3, "collapse family crash rounds R")
+	flag.Parse()
+
+	adv, tBound, err := buildAdversary(*inputsFlag, *crashFlag, *collapseK, *collapseR, *t)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	p := setconsensus.Params{N: adv.N(), T: tBound, K: *k}
+	if *collapseK > 0 {
+		p.K = *collapseK
+	}
+	proto, uniform, err := buildProtocol(*protoName, p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	res := setconsensus.Run(proto, adv)
+	fmt.Printf("adversary: %s\n", adv)
+	fmt.Printf("protocol:  %s (n=%d, t=%d, k=%d)\n\n", proto.Name(), p.N, p.T, p.K)
+	fmt.Println("proc  decision  time")
+	for i := 0; i < adv.N(); i++ {
+		d := res.Decisions[i]
+		status := ""
+		if adv.Pattern.Faulty(i) {
+			status = fmt.Sprintf("  (crashes in round %d)", adv.Pattern.CrashRound(i))
+		}
+		if d == nil {
+			fmt.Printf("%4d  %8s  %4s%s\n", i, "⊥", "-", status)
+		} else {
+			fmt.Printf("%4d  %8d  %4d%s\n", i, d.Value, d.Time, status)
+		}
+	}
+	task := setconsensus.Task{K: p.K, Uniform: uniform}
+	if err := setconsensus.Verify(res, task); err != nil {
+		fmt.Printf("\nverification: FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nverification: %s satisfied\n", task)
+}
+
+func buildAdversary(inputs, crash string, collapseK, collapseR, t int) (*setconsensus.Adversary, int, error) {
+	if collapseK > 0 {
+		cp := setconsensus.CollapseParams{K: collapseK, R: collapseR, ExtraCorrect: collapseK + 2}
+		adv, err := setconsensus.Collapse(cp)
+		return adv, setconsensus.CollapseT(cp), err
+	}
+	if inputs == "" {
+		return nil, 0, fmt.Errorf("need -inputs (or -collapse-k)")
+	}
+	var vals []int
+	for _, f := range strings.Split(inputs, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, 0, fmt.Errorf("bad input %q: %v", f, err)
+		}
+		vals = append(vals, v)
+	}
+	n := len(vals)
+	b := setconsensus.NewBuilder(n, 0).Inputs(vals...)
+	if crash != "" {
+		for _, spec := range strings.Split(crash, ";") {
+			if err := applyCrash(b, spec, n); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	adv, err := b.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	if t < 0 {
+		t = n - 1
+	}
+	return adv, t, nil
+}
+
+func applyCrash(b *setconsensus.Builder, spec string, n int) error {
+	at := strings.SplitN(spec, "@", 2)
+	if len(at) != 2 {
+		return fmt.Errorf("bad crash spec %q (want p@r:recv)", spec)
+	}
+	colon := strings.SplitN(at[1], ":", 2)
+	if len(colon) != 2 {
+		return fmt.Errorf("bad crash spec %q (want p@r:recv)", spec)
+	}
+	p, err := strconv.Atoi(strings.TrimSpace(at[0]))
+	if err != nil {
+		return fmt.Errorf("bad process in %q", spec)
+	}
+	r, err := strconv.Atoi(strings.TrimSpace(colon[0]))
+	if err != nil {
+		return fmt.Errorf("bad round in %q", spec)
+	}
+	recv := strings.TrimSpace(colon[1])
+	switch recv {
+	case "":
+		b.CrashSilent(p, r)
+	case "*":
+		b.CrashSendingToAll(p, r)
+	default:
+		var rs []int
+		for _, f := range strings.Split(recv, ",") {
+			q, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || q < 0 || q >= n {
+				return fmt.Errorf("bad receiver %q in %q", f, spec)
+			}
+			rs = append(rs, q)
+		}
+		b.CrashSendingTo(p, r, rs...)
+	}
+	return nil
+}
+
+func buildProtocol(name string, p setconsensus.Params) (setconsensus.Protocol, bool, error) {
+	switch strings.ToLower(name) {
+	case "optmin":
+		proto, err := setconsensus.NewOptmin(p)
+		return proto, false, err
+	case "upmin":
+		proto, err := setconsensus.NewUPmin(p)
+		return proto, true, err
+	case "floodmin":
+		proto, err := setconsensus.NewBaseline(setconsensus.FloodMin, p)
+		return proto, true, err
+	case "earlycount":
+		proto, err := setconsensus.NewBaseline(setconsensus.EarlyCount, p)
+		return proto, false, err
+	case "u-earlycount":
+		proto, err := setconsensus.NewBaseline(setconsensus.UEarlyCount, p)
+		return proto, true, err
+	case "perround":
+		proto, err := setconsensus.NewBaseline(setconsensus.PerRound, p)
+		return proto, false, err
+	case "u-perround":
+		proto, err := setconsensus.NewBaseline(setconsensus.UPerRound, p)
+		return proto, true, err
+	}
+	return nil, false, fmt.Errorf("unknown protocol %q", name)
+}

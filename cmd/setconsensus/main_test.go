@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	setconsensus "setconsensus"
+)
+
+func TestBuildAdversaryFromFlags(t *testing.T) {
+	adv, tb, err := buildAdversary("0,1,1,1", "0@1:1;2@2:*", 0, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.N() != 4 || tb != 3 {
+		t.Fatalf("n=%d t=%d", adv.N(), tb)
+	}
+	if adv.Inputs[0] != 0 || adv.Inputs[1] != 1 {
+		t.Errorf("inputs = %v", adv.Inputs)
+	}
+	if adv.Pattern.CrashRound(0) != 1 || adv.Pattern.CrashRound(2) != 2 {
+		t.Errorf("crash rounds wrong: %s", adv.Pattern)
+	}
+	if !adv.Pattern.Delivered(0, 1, 1) || adv.Pattern.Delivered(0, 3, 1) {
+		t.Error("delivery set of 0 wrong")
+	}
+	if !adv.Pattern.Delivered(2, 0, 2) {
+		t.Error("complete send of 2 wrong")
+	}
+}
+
+func TestBuildAdversarySilent(t *testing.T) {
+	adv, _, err := buildAdversary("1,1,1", "1@1:", 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Pattern.Delivered(1, 0, 1) || adv.Pattern.Delivered(1, 2, 1) {
+		t.Error("silent crash must deliver nothing")
+	}
+}
+
+func TestBuildAdversaryCollapse(t *testing.T) {
+	adv, tb, err := buildAdversary("", "", 2, 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb != 8 || adv.N() != 12 {
+		t.Fatalf("collapse: n=%d t=%d", adv.N(), tb)
+	}
+}
+
+func TestBuildAdversaryErrors(t *testing.T) {
+	cases := []struct{ inputs, crash string }{
+		{"", ""},             // no inputs and no collapse
+		{"a,b", ""},          // junk values
+		{"1,1", "0@x:"},      // junk round
+		{"1,1", "0:1"},       // missing @
+		{"1,1", "0@1"},       // missing :
+		{"1,1", "0@1:9"},     // receiver out of range
+		{"1,1", "zz@1:"},     // junk process
+		{"1,1", "0@1:;0@2:"}, // double crash
+	}
+	for _, c := range cases {
+		if _, _, err := buildAdversary(c.inputs, c.crash, 0, 0, -1); err == nil {
+			t.Errorf("inputs=%q crash=%q must error", c.inputs, c.crash)
+		}
+	}
+}
+
+func TestBuildProtocolAllNames(t *testing.T) {
+	p := setconsensus.Params{N: 4, T: 2, K: 2}
+	uniformByName := map[string]bool{
+		"optmin": false, "upmin": true, "floodmin": true,
+		"earlycount": false, "u-earlycount": true, "perround": false, "u-perround": true,
+	}
+	for name, wantUniform := range uniformByName {
+		proto, uniform, err := buildProtocol(name, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if uniform != wantUniform {
+			t.Errorf("%s: uniform=%v", name, uniform)
+		}
+		if proto.Name() == "" {
+			t.Errorf("%s: empty protocol name", name)
+		}
+	}
+	if _, _, err := buildProtocol("nonsense", p); err == nil {
+		t.Error("unknown protocol must error")
+	}
+	if _, _, err := buildProtocol("OPTMIN", p); err != nil {
+		t.Error("protocol lookup should be case-insensitive")
+	}
+	if !strings.Contains(strings.ToLower("Optmin"), "optmin") {
+		t.Fatal("sanity")
+	}
+}

@@ -1,0 +1,24 @@
+// Package setconsensus is a complete implementation of
+// "Unbeatable Set Consensus via Topological and Combinatorial Reasoning"
+// (Castañeda, Gonczarowski, Moses — PODC 2016): the unbeatable protocol
+// Optmin[k] for nonuniform k-set consensus and the early-deciding uniform
+// protocol u-Pmin[k] in the synchronous message-passing model with crash
+// failures, together with every substrate the paper's analysis uses —
+// the knowledge calculus (seen / guaranteed-crashed / hidden nodes,
+// hidden capacity), the literature baselines, the Lemma 2 hidden-run
+// construction and the Lemma 1/3 unbeatability certificates, the
+// combinatorial-topology machinery (subdivisions, Sperner's lemma,
+// protocol complexes, star-complex connectivity), the Appendix E compact
+// wire protocol, and a goroutine message-passing runtime.
+//
+// This package is the public facade; subsystems live under internal/ and
+// are re-exported here as needed by the examples and tools. Start with:
+//
+//	adv := setconsensus.NewBuilder(5, 2).Input(0, 0).MustBuild()
+//	proto, _ := setconsensus.NewOptmin(setconsensus.Params{N: 5, T: 2, K: 2})
+//	res := setconsensus.Run(proto, adv)
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// measured reproduction of every figure and theorem.
+package setconsensus

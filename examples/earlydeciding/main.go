@@ -1,0 +1,48 @@
+// Early deciding: the paper's headline separation (Fig. 4). On the
+// collapse family, u-Pmin[k] decides at time 2 while every known
+// early-deciding protocol from the literature waits ⌊t/k⌋+1 rounds —
+// a margin that grows without bound in t.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	setconsensus "setconsensus"
+)
+
+func main() {
+	k := 3
+	fmt.Printf("uniform %d-set consensus on the Fig. 4 collapse family\n\n", k)
+	fmt.Println("    t   u-Pmin   FloodMin   u-EarlyCount   u-PerRound   ⌊t/k⌋+1")
+	for _, r := range []int{2, 5, 9, 19, 39} {
+		cp := setconsensus.CollapseParams{K: k, R: r, ExtraCorrect: k + 2}
+		adv, err := setconsensus.Collapse(cp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := setconsensus.CollapseT(cp)
+		params := setconsensus.Params{N: adv.N(), T: t, K: k}
+
+		times := map[string]int{}
+		upmin, err := setconsensus.NewUPmin(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		times["u-Pmin"] = setconsensus.Run(upmin, adv).MaxCorrectDecisionTime()
+		for _, kind := range []setconsensus.BaselineKind{
+			setconsensus.FloodMin, setconsensus.UEarlyCount, setconsensus.UPerRound,
+		} {
+			b, err := setconsensus.NewBaseline(kind, params)
+			if err != nil {
+				log.Fatal(err)
+			}
+			times[kind.String()] = setconsensus.Run(b, adv).MaxCorrectDecisionTime()
+		}
+		fmt.Printf("  %3d   %6d   %8d   %12d   %10d   %7d\n",
+			t, times["u-Pmin"], times["FloodMin"], times["u-EarlyCount"], times["u-PerRound"], t/k+1)
+	}
+	fmt.Println("\nevery correct process discovers k new failures per round, so the")
+	fmt.Println("literature protocols cannot stop early — but the hidden capacity of")
+	fmt.Println("every correct process collapses at time 2, and u-Pmin decides there.")
+}

@@ -1,0 +1,59 @@
+// Unbeatability: the computational content of Theorem 1. For the Fig. 2
+// scenario, every node at which Optmin[k] is undecided carries a
+// machine-checked Lemma 3 certificate, and a bounded protocol-space
+// search over an exhaustive adversary space fails to beat Optmin.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	setconsensus "setconsensus"
+	"setconsensus/internal/core"
+	"setconsensus/internal/enum"
+	"setconsensus/internal/unbeat"
+)
+
+func main() {
+	// Part 1: certificates on the Fig. 2 hidden-chains run (k = 3).
+	adv, err := setconsensus.HiddenChains(14, 3, 2, []int{3, 3, 3}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := setconsensus.NewGraph(adv, 2)
+	fmt.Println("Fig. 2 run (k=3): certifying every Optmin-undecided node")
+	certified := 0
+	for i := 0; i < adv.N(); i++ {
+		for m := 0; m <= 2; m++ {
+			if !adv.Pattern.Active(i, m) {
+				continue
+			}
+			if g.Min(i, m) < 3 || g.HiddenCapacity(i, m) < 3 {
+				continue // Optmin decides here
+			}
+			if _, err := setconsensus.CannotDecide(g, i, m, 3); err != nil {
+				log.Fatalf("⟨%d,%d⟩ uncertified: %v", i, m, err)
+			}
+			certified++
+		}
+	}
+	fmt.Printf("  %d undecided nodes, all certified: no dominating protocol decides at any of them\n\n", certified)
+
+	// Part 2: exhaustive deviation search for binary consensus, n=3.
+	rep, err := unbeat.Search(
+		core.MustOptmin(core.Params{N: 3, T: 2, K: 1}),
+		unbeat.SearchParams{
+			Space: enum.Space{N: 3, T: 2, MaxRound: 3, Values: []int{0, 1}},
+			K:     1, T: 2, Width: 2,
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deviation search over %d runs: %d deviation points, %d candidate rules tested\n",
+		rep.Runs, rep.Views, rep.Candidates)
+	if rep.Beaten {
+		fmt.Printf("  BEATEN: %s\n", rep.Witness)
+	} else {
+		fmt.Println("  no candidate solves consensus while beating Opt0 — unbeatable on this model ✓")
+	}
+}

@@ -1,0 +1,177 @@
+// Package baseline implements the literature comparators for k-set
+// consensus in the synchronous crash model — the protocols that the
+// paper's Optmin[k] and u-Pmin[k] dominate.
+//
+// The defining characteristic the paper ascribes to all of them (§5): "a
+// process remains undecided as long as it discovers at least k new
+// failures in every round". We implement the canonical decision rules:
+//
+//   - FloodMin[k]      — worst-case optimal: flood minima and decide at
+//     time ⌊t/k⌋+1 (the classic protocol, cf. Chaudhuri et al. [7]).
+//   - EarlyCount[k]    — nonuniform early deciding ([7,14]-style): decide
+//     Min⟨i,m⟩ at the first time m ≥ 1 with fewer than k·m known
+//     failures. (By the hidden-capacity argument, failures < k·m implies
+//     HC < k, so this is a strictly weaker trigger than Optmin's.)
+//   - UEarlyCount[k]   — uniform variant ([14,16]-style): after observing
+//     the count condition at time m−1, decide Min⟨i,m−1⟩ at time m — one
+//     round later, by which point the decided value has provably
+//     persisted; unconditional deadline ⌊t/k⌋+1.
+//   - PerRound[k]      — nonuniform ([27]-style): decide Min⟨i,m⟩ at the
+//     first time m ≥ 1 that reveals fewer than k new failures.
+//   - UPerRound[k]     — uniform variant: one round after a quiet round,
+//     decide the persisted Min⟨i,m−1⟩; deadline ⌊t/k⌋+1.
+//
+// Every baseline is verified against the task checkers over exhaustively
+// enumerated adversaries in conformance_test.go; on the Fig. 4 family all
+// of them decide only at ⌊t/k⌋+1, which is exactly the behaviour the
+// paper's separation claim relies on.
+package baseline
+
+import (
+	"fmt"
+
+	"setconsensus/internal/core"
+	"setconsensus/internal/knowledge"
+	"setconsensus/internal/model"
+)
+
+// Kind selects a baseline decision rule.
+type Kind int
+
+// The implemented baseline rules.
+const (
+	FloodMin Kind = iota + 1
+	EarlyCount
+	UEarlyCount
+	PerRound
+	UPerRound
+)
+
+var kindNames = map[Kind]string{
+	FloodMin:    "FloodMin",
+	EarlyCount:  "EarlyCount",
+	UEarlyCount: "u-EarlyCount",
+	PerRound:    "PerRound",
+	UPerRound:   "u-PerRound",
+}
+
+// Uniform reports whether the rule solves the uniform task.
+func (k Kind) Uniform() bool { return k == FloodMin || k == UEarlyCount || k == UPerRound }
+
+// String returns the rule's literature-style name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Protocol is one configured baseline.
+type Protocol struct {
+	kind Kind
+	p    core.Params
+	name string
+}
+
+// New builds a baseline protocol of the given kind.
+func New(kind Kind, p core.Params) (*Protocol, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := kindNames[kind]; !ok {
+		return nil, fmt.Errorf("baseline: unknown kind %d", int(kind))
+	}
+	return &Protocol{kind: kind, p: p, name: fmt.Sprintf("%s[%d]", kind, p.K)}, nil
+}
+
+// Must is New for fixed test/experiment parameters.
+func Must(kind Kind, p core.Params) *Protocol {
+	b, err := New(kind, p)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// All returns one instance of every baseline for the given parameters.
+func All(p core.Params) []*Protocol {
+	return []*Protocol{
+		Must(FloodMin, p),
+		Must(EarlyCount, p),
+		Must(UEarlyCount, p),
+		Must(PerRound, p),
+		Must(UPerRound, p),
+	}
+}
+
+// AllUniform returns the baselines that solve the uniform task.
+func AllUniform(p core.Params) []*Protocol {
+	return []*Protocol{
+		Must(FloodMin, p),
+		Must(UEarlyCount, p),
+		Must(UPerRound, p),
+	}
+}
+
+// Name implements sim.Protocol.
+func (b *Protocol) Name() string { return b.name }
+
+// Kind returns the baseline's rule kind.
+func (b *Protocol) Kind() Kind { return b.kind }
+
+// Params returns the protocol parameters.
+func (b *Protocol) Params() core.Params { return b.p }
+
+// WorstCaseDecisionTime implements sim.Protocol: every baseline carries
+// the unconditional ⌊t/k⌋+1 deadline.
+func (b *Protocol) WorstCaseDecisionTime() int { return b.p.T/b.p.K + 1 }
+
+// Decide implements sim.Protocol.
+func (b *Protocol) Decide(g *knowledge.Graph, i model.Proc, m int) (model.Value, bool) {
+	k := b.p.K
+	deadline := b.p.T/k + 1
+	switch b.kind {
+	case FloodMin:
+		if m == deadline {
+			return g.Min(i, m), true
+		}
+	case EarlyCount:
+		if m >= 1 && g.FailuresKnown(i, m) < k*m {
+			return g.Min(i, m), true
+		}
+		// The count condition is automatic at the deadline
+		// (k(⌊t/k⌋+1) > t ≥ f), so no extra clause is needed; kept
+		// explicit for clarity of the worst-case contract.
+		if m == deadline {
+			return g.Min(i, m), true
+		}
+	case UEarlyCount:
+		if m >= 2 && g.FailuresKnown(i, m-1) < k*(m-1) {
+			return g.Min(i, m-1), true
+		}
+		if m == deadline {
+			return g.Min(i, m), true
+		}
+	case PerRound:
+		if m >= 1 && newFailures(g, i, m) < k {
+			return g.Min(i, m), true
+		}
+		if m == deadline {
+			return g.Min(i, m), true
+		}
+	case UPerRound:
+		if m >= 2 && newFailures(g, i, m-1) < k {
+			return g.Min(i, m-1), true
+		}
+		if m == deadline {
+			return g.Min(i, m), true
+		}
+	}
+	return 0, false
+}
+
+// newFailures counts the failures i discovered in round m: processes it
+// can prove crashed at time m but could not at time m−1.
+func newFailures(g *knowledge.Graph, i model.Proc, m int) int {
+	return g.FailuresKnown(i, m) - g.FailuresKnown(i, m-1)
+}

@@ -1,0 +1,160 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"setconsensus/internal/check"
+	"setconsensus/internal/core"
+	"setconsensus/internal/model"
+	"setconsensus/internal/sim"
+)
+
+func TestKindStringsAndUniformity(t *testing.T) {
+	cases := map[Kind]struct {
+		name    string
+		uniform bool
+	}{
+		FloodMin:    {"FloodMin", true},
+		EarlyCount:  {"EarlyCount", false},
+		UEarlyCount: {"u-EarlyCount", true},
+		PerRound:    {"PerRound", false},
+		UPerRound:   {"u-PerRound", true},
+	}
+	for kind, want := range cases {
+		if kind.String() != want.name {
+			t.Errorf("%d: name %q, want %q", kind, kind.String(), want.name)
+		}
+		if kind.Uniform() != want.uniform {
+			t.Errorf("%s: uniform %v", kind, kind.Uniform())
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Kind(99), core.Params{N: 3, T: 1, K: 1}); err == nil {
+		t.Error("unknown kind must error")
+	}
+	if _, err := New(FloodMin, core.Params{N: 1, T: 0, K: 1}); err == nil {
+		t.Error("invalid params must error")
+	}
+	b := Must(FloodMin, core.Params{N: 4, T: 2, K: 2})
+	if b.Name() != "FloodMin[2]" || b.Kind() != FloodMin || b.Params().N != 4 {
+		t.Errorf("metadata: %s %v %+v", b.Name(), b.Kind(), b.Params())
+	}
+}
+
+func TestAllFamilies(t *testing.T) {
+	p := core.Params{N: 4, T: 2, K: 1}
+	if got := len(All(p)); got != 5 {
+		t.Errorf("All = %d protocols", got)
+	}
+	for _, b := range AllUniform(p) {
+		if !b.Kind().Uniform() {
+			t.Errorf("%s in AllUniform but not uniform", b.Name())
+		}
+	}
+}
+
+func TestFloodMinAlwaysDecidesAtDeadline(t *testing.T) {
+	p := core.Params{N: 4, T: 2, K: 1}
+	adv := model.NewBuilder(4, 1).Input(0, 0).MustBuild()
+	res := sim.Run(Must(FloodMin, p), adv)
+	for i := 0; i < 4; i++ {
+		if d := res.Decisions[i]; d == nil || d.Time != 3 || d.Value != 0 {
+			t.Errorf("process %d: %+v, want 0@3", i, d)
+		}
+	}
+}
+
+func TestEarlyCountFailureFree(t *testing.T) {
+	// Failure-free: zero known failures < k·1, so EarlyCount decides at
+	// time 1; the uniform variant one round later; PerRound at 1 too.
+	p := core.Params{N: 5, T: 3, K: 2}
+	adv := model.NewBuilder(5, 2).MustBuild()
+	for kind, want := range map[Kind]int{EarlyCount: 1, UEarlyCount: 2, PerRound: 1, UPerRound: 2} {
+		res := sim.Run(Must(kind, p), adv)
+		for i := 0; i < 5; i++ {
+			if d := res.Decisions[i]; d == nil || d.Time != want {
+				t.Errorf("%s process %d: %+v, want time %d", kind, i, d, want)
+			}
+		}
+	}
+}
+
+func TestBaselinesStallOnCollapseFamily(t *testing.T) {
+	// The defining behaviour the separation relies on: with ≥ k new
+	// failures discovered every round, every baseline stays undecided
+	// until ⌊t/k⌋+1 on the Fig. 4 family.
+	cp := model.CollapseParams{K: 2, R: 3, ExtraCorrect: 4}
+	adv, err := model.Collapse(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := model.CollapseT(cp)
+	p := core.Params{N: adv.N(), T: tb, K: 2}
+	deadline := tb/2 + 1
+	// The family's crashes end in round R = t/k − 1, so the nonuniform
+	// per-round rule sees its first quiet round at R+1 = deadline−1; all
+	// count-based and uniform baselines stall to the deadline itself.
+	want := map[Kind]int{
+		FloodMin:    deadline,
+		EarlyCount:  deadline,
+		UEarlyCount: deadline,
+		PerRound:    deadline - 1,
+		UPerRound:   deadline,
+	}
+	for _, b := range All(p) {
+		res := sim.Run(b, adv)
+		for i := 0; i < adv.N(); i++ {
+			if !adv.Pattern.Correct(i) {
+				continue
+			}
+			if d := res.Decisions[i]; d == nil || d.Time != want[b.Kind()] {
+				t.Errorf("%s correct process %d: %+v, want decision at %d", b.Name(), i, d, want[b.Kind()])
+			}
+		}
+	}
+}
+
+func TestEarlyCountImpliesOptminCondition(t *testing.T) {
+	// The domination mechanism: whenever the EarlyCount trigger holds
+	// (failures < k·m), the hidden capacity is already < k — so Optmin's
+	// rule fires no later. Spot-check across the collapse run.
+	cp := model.CollapseParams{K: 2, R: 3, ExtraCorrect: 4}
+	adv, err := model.Collapse(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := model.CollapseT(cp)
+	p := core.Params{N: adv.N(), T: tb, K: 2}
+	res := sim.Run(Must(EarlyCount, p), adv)
+	g := res.Graph
+	for i := 0; i < adv.N(); i++ {
+		for m := 1; m <= tb/2+1; m++ {
+			if !adv.Pattern.Active(i, m) {
+				continue
+			}
+			if g.FailuresKnown(i, m) < 2*m && g.HiddenCapacity(i, m) >= 2 {
+				t.Fatalf("⟨%d,%d⟩: count condition without HC<k", i, m)
+			}
+		}
+	}
+}
+
+func TestBaselinesSatisfyTasksOnFamilies(t *testing.T) {
+	hp, err := model.HiddenPath(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{N: 6, T: 4, K: 1}
+	for _, b := range All(p) {
+		task := check.Task{K: 1, Uniform: b.Kind().Uniform()}
+		if err := check.VerifyRun(sim.Run(b, hp), task); err != nil {
+			t.Errorf("%s on hidden path: %v", b.Name(), err)
+		}
+	}
+}

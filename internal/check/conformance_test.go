@@ -1,0 +1,101 @@
+package check_test
+
+// Exhaustive conformance: every protocol in the repository solves its task
+// on EVERY canonical adversary of small spaces, and meets its decision-time
+// bound. This is the computational content of Proposition 1, Theorem 3,
+// and the correctness half of the baseline substitutions (DESIGN.md §5).
+
+import (
+	"testing"
+
+	"setconsensus/internal/baseline"
+	"setconsensus/internal/check"
+	"setconsensus/internal/core"
+	"setconsensus/internal/enum"
+	"setconsensus/internal/knowledge"
+	"setconsensus/internal/model"
+	"setconsensus/internal/sim"
+)
+
+type protoCase struct {
+	proto sim.Protocol
+	task  check.Task
+	bound func(f int) int
+}
+
+func conformanceCases(p core.Params) []protoCase {
+	nonuniform := check.Task{K: p.K}
+	uniform := check.Task{K: p.K, Uniform: true}
+	worst := p.T/p.K + 1
+	uniBound := func(f int) int { return min(worst, f/p.K+2) }
+	cases := []protoCase{
+		{core.MustOptmin(p), nonuniform, func(f int) int { return f/p.K + 1 }},
+		{core.MustUPmin(p), uniform, uniBound},
+	}
+	for _, b := range baseline.All(p) {
+		task := nonuniform
+		if b.Kind().Uniform() {
+			task = uniform
+		}
+		cases = append(cases, protoCase{b, task, func(int) int { return worst }})
+	}
+	return cases
+}
+
+func runConformance(t *testing.T, space enum.Space, p core.Params) {
+	t.Helper()
+	cases := conformanceCases(p)
+	horizon := p.T/p.K + 1
+	total := 0
+	err := space.ForEach(func(adv *model.Adversary) bool {
+		total++
+		g := knowledge.New(adv, horizon)
+		for _, c := range cases {
+			res := sim.RunWithGraph(c.proto, g)
+			if err := check.VerifyRun(res, c.task); err != nil {
+				t.Fatalf("conformance: %v", err)
+			}
+			if err := check.VerifyDecisionBound(res, c.bound); err != nil {
+				t.Fatalf("bound: %v", err)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("verified %d protocols on %d adversaries (n=%d t=%d k=%d)",
+		len(cases), total, p.N, p.T, p.K)
+}
+
+func TestConformanceExhaustiveN3K1(t *testing.T) {
+	// Binary consensus, n=3, up to 2 crashes in rounds 1..3.
+	space := enum.Space{N: 3, T: 2, MaxRound: 3, Values: []int{0, 1}}
+	runConformance(t, space, core.Params{N: 3, T: 2, K: 1})
+}
+
+func TestConformanceExhaustiveN4K2(t *testing.T) {
+	// 2-set consensus, n=4, up to 2 crashes, values {0,1,2}.
+	space := enum.Space{N: 4, T: 2, MaxRound: 2, Values: []int{0, 1, 2}}
+	runConformance(t, space, core.Params{N: 4, T: 2, K: 2})
+}
+
+func TestConformanceExhaustiveN4K1Deep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive deep space skipped in -short")
+	}
+	// Consensus with up to 3 crashes over 3 rounds: the deep space where
+	// hidden paths of length 3 exist.
+	space := enum.Space{N: 4, T: 3, MaxRound: 3, Values: []int{0, 1}}
+	runConformance(t, space, core.Params{N: 4, T: 3, K: 1})
+}
+
+func TestConformanceExhaustiveN5K2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive n=5 space skipped in -short")
+	}
+	// 2-set consensus with 5 processes, 2 crashes (enough for one full
+	// hidden "layer" of two chains).
+	space := enum.Space{N: 5, T: 2, MaxRound: 2, Values: []int{0, 1, 2}}
+	runConformance(t, space, core.Params{N: 5, T: 2, K: 2})
+}

@@ -1,0 +1,118 @@
+package core
+
+// Ablation tests (DESIGN.md §7): each component of the Optmin decision
+// rule is load-bearing. Removing the hidden-capacity test loses
+// termination on all-high runs; loosening the threshold by one breaks
+// k-Agreement on hidden-chain adversaries.
+
+import (
+	"testing"
+
+	"setconsensus/internal/check"
+	"setconsensus/internal/knowledge"
+	"setconsensus/internal/model"
+	"setconsensus/internal/sim"
+)
+
+// lowOnly is Optmin without the hidden-capacity clause.
+func lowOnly(p Params) *sim.Func {
+	return &sim.Func{
+		ProtoName: "ablation:low-only",
+		Horizon:   p.T/p.K + 1,
+		Rule: func(g *knowledge.Graph, i model.Proc, m int) (model.Value, bool) {
+			if g.Low(i, m, p.K) {
+				return g.Min(i, m), true
+			}
+			return 0, false
+		},
+	}
+}
+
+// offByOne is Optmin with HC ≤ k instead of HC < k.
+func offByOne(p Params) *sim.Func {
+	return &sim.Func{
+		ProtoName: "ablation:hc-off-by-one",
+		Horizon:   p.T/p.K + 1,
+		Rule: func(g *knowledge.Graph, i model.Proc, m int) (model.Value, bool) {
+			if g.Low(i, m, p.K) || g.HiddenCapacity(i, m) <= p.K {
+				return g.Min(i, m), true
+			}
+			return 0, false
+		},
+	}
+}
+
+func TestOptminAblationLowOnlyNeverTerminatesHighRuns(t *testing.T) {
+	// All inputs high: without the HC clause nobody ever decides, so the
+	// Decision property fails.
+	p := Params{N: 5, T: 3, K: 2}
+	adv := model.NewBuilder(5, 2).MustBuild()
+	res := sim.Run(lowOnly(p), adv)
+	if err := check.VerifyRun(res, check.Task{K: 2}); err == nil {
+		t.Fatal("low-only ablation must violate Decision on all-high runs")
+	}
+	// The real protocol of course terminates.
+	if err := check.VerifyRun(sim.Run(MustOptmin(p), adv), check.Task{K: 2}); err != nil {
+		t.Fatalf("Optmin itself failed: %v", err)
+	}
+}
+
+func TestOptminAblationOffByOneViolatesAgreement(t *testing.T) {
+	// The Fig. 2 situation realized: k = 2 hidden chains of depth 1 carry
+	// the low values 0 and 1 while the observer family is high. With the
+	// threshold loosened to HC ≤ k, high processes decide the high value
+	// at time 1 even though both chains may still surface, and the chain
+	// receivers decide 0 and 1 — three values under 2-set consensus.
+	k := 2
+	adv := model.NewBuilder(8, k).
+		Input(1, 0).Input(2, 1).
+		CrashSendingTo(1, 1, 3).
+		CrashSendingTo(2, 1, 4).
+		MustBuild()
+	p := Params{N: 8, T: 7, K: k}
+	res := sim.Run(offByOne(p), adv)
+	if err := check.VerifyRun(res, check.Task{K: k}); err == nil {
+		t.Fatalf("off-by-one ablation must violate %d-Agreement: %s", k, res)
+	}
+	// The real rule is safe on the same adversary.
+	if err := check.VerifyRun(sim.Run(MustOptmin(p), adv), check.Task{K: k}); err != nil {
+		t.Fatalf("Optmin itself failed: %v", err)
+	}
+}
+
+func TestUPminAblationNoPersistenceViolatesUniformAgreement(t *testing.T) {
+	// u-Pmin without the persistence guard: a process that decides a
+	// freshly learned low value and then crashes can leave the system
+	// deciding a different value — uniform agreement breaks.
+	k := 1
+	p := Params{N: 4, T: 3, K: k}
+	noPersist := &sim.Func{
+		ProtoName: "ablation:no-persistence",
+		Horizon:   p.T/p.K + 1,
+		Rule: func(g *knowledge.Graph, i model.Proc, m int) (model.Value, bool) {
+			if g.Low(i, m, k) || g.HiddenCapacity(i, m) < k {
+				return g.Min(i, m), true
+			}
+			if m == p.T/p.K+1 {
+				return g.Min(i, m), true
+			}
+			return 0, false
+		},
+	}
+	// Process 0 holds 0, crashes in round 1 reaching only process 1;
+	// process 1 decides 0 at time 1 (it is low) and crashes in round 2
+	// silently. The survivors never learn 0 and decide 1.
+	adv := model.NewBuilder(4, 1).
+		Input(0, 0).
+		CrashSendingTo(0, 1, 1).
+		CrashSilent(1, 2).
+		MustBuild()
+	res := sim.Run(noPersist, adv)
+	if err := check.VerifyRun(res, check.Task{K: k, Uniform: true}); err == nil {
+		t.Fatalf("no-persistence ablation must violate uniform agreement: %s", res)
+	}
+	// u-Pmin handles the same adversary.
+	if err := check.VerifyRun(sim.Run(MustUPmin(p), adv), check.Task{K: k, Uniform: true}); err != nil {
+		t.Fatalf("u-Pmin itself failed: %v", err)
+	}
+}

@@ -1,0 +1,389 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"setconsensus/internal/model"
+	"setconsensus/internal/sim"
+)
+
+func TestParamsValidate(t *testing.T) {
+	for _, bad := range []Params{{N: 1, T: 0, K: 1}, {N: 3, T: 3, K: 1}, {N: 3, T: -1, K: 1}, {N: 3, T: 1, K: 0}} {
+		if bad.Validate() == nil {
+			t.Errorf("params %+v must be invalid", bad)
+		}
+	}
+	if (Params{N: 3, T: 2, K: 1}).Validate() != nil {
+		t.Error("valid params rejected")
+	}
+	if _, err := NewOptmin(Params{N: 1, T: 0, K: 1}); err == nil {
+		t.Error("NewOptmin must propagate validation")
+	}
+	if _, err := NewUPmin(Params{N: 3, T: 1, K: 0}); err == nil {
+		t.Error("NewUPmin must propagate validation")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if got := MustOptmin(Params{N: 4, T: 2, K: 2}).Name(); got != "Optmin[2]" {
+		t.Errorf("name = %q", got)
+	}
+	o, err := NewOpt0(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name() != "Opt0" || o.Params().K != 1 {
+		t.Errorf("Opt0 wrapper: name=%q k=%d", o.Name(), o.Params().K)
+	}
+	u, err := NewUOpt0(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Name() != "u-Opt0" || u.Params().K != 1 {
+		t.Errorf("u-Opt0 wrapper: name=%q k=%d", u.Name(), u.Params().K)
+	}
+}
+
+func TestOptminFailureFree(t *testing.T) {
+	// All-high inputs, no failures: high processes decide k at time 1
+	// (hidden capacity collapses to 0 after one clean round).
+	adv := model.NewBuilder(5, 2).MustBuild()
+	res := sim.Run(MustOptmin(Params{N: 5, T: 3, K: 2}), adv)
+	for i := 0; i < 5; i++ {
+		d := res.Decisions[i]
+		if d == nil || d.Value != 2 || d.Time != 1 {
+			t.Errorf("process %d: %+v, want 2@1", i, d)
+		}
+	}
+}
+
+func TestOptminLowDecidesImmediately(t *testing.T) {
+	// A low process decides at time 0 on its own value.
+	adv := model.NewBuilder(5, 2).Input(3, 0).Input(4, 1).MustBuild()
+	res := sim.Run(MustOptmin(Params{N: 5, T: 3, K: 2}), adv)
+	if d := res.Decisions[3]; d.Value != 0 || d.Time != 0 {
+		t.Errorf("low process 3: %+v, want 0@0", d)
+	}
+	if d := res.Decisions[4]; d.Value != 1 || d.Time != 0 {
+		t.Errorf("low process 4: %+v, want 1@0", d)
+	}
+	// High processes learn both lows in round 1 and decide min = 0 at 1.
+	if d := res.Decisions[0]; d.Value != 0 || d.Time != 1 {
+		t.Errorf("high process 0: %+v, want 0@1", d)
+	}
+}
+
+func TestOptminHiddenPathBlocksOpt0(t *testing.T) {
+	// Fig. 1: with a hidden path of depth 2, the observer cannot decide
+	// before time 3 in Opt0 (= Optmin[1]); the chain tail (which saw 0)
+	// decides 0 immediately.
+	adv, err := model.HiddenPath(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewOpt0(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run(p, adv)
+	// The tail receives 0 via the round-2 message of the dying chain
+	// process — it decides 0 at time 2, exactly as in Fig. 1.
+	if d := res.Decisions[3]; d.Value != 0 || d.Time != 2 {
+		t.Errorf("chain tail 3: %+v, want 0@2", d)
+	}
+	if d := res.Decisions[0]; d == nil || d.Time < 3 {
+		t.Errorf("observer 0 decided %+v; the hidden path must block it through time 2", d)
+	}
+	if d := res.Decisions[0]; d.Value != 0 {
+		t.Errorf("observer must learn 0 once the path dies: %+v", d)
+	}
+}
+
+func TestOptminHiddenChainsBlockHigh(t *testing.T) {
+	// Fig. 2 with c = k = 3 chains of depth 2: observer 0 has HC = 3 at
+	// time 2, so it must still be undecided at time 2; the chain tails are
+	// low and decide their unique low values immediately upon seeing them.
+	adv, err := model.HiddenChains(12, 3, 2, []model.Value{0, 1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MustOptmin(Params{N: 12, T: 8, K: 3})
+	res := sim.RunToHorizon(p, adv, 4)
+	for b := 0; b < 3; b++ {
+		tail := model.ChainWitness(b, 2, 2)
+		d := res.Decisions[tail]
+		if d == nil || d.Value != b || d.Time != 2 {
+			t.Errorf("chain %d tail: %+v, want %d@2", b, d, b)
+		}
+	}
+	if d := res.Decisions[0]; d != nil && d.Time <= 2 {
+		t.Errorf("observer with HC=3 decided early: %+v", d)
+	}
+}
+
+func TestOptminCollapseSchedule(t *testing.T) {
+	// Fig. 4 family, all-high variant: relays decide k at time 1 (their
+	// hidden capacity is k−1), every correct process decides k at time 2.
+	p := model.CollapseParams{K: 3, R: 3, ExtraCorrect: 4}
+	adv, err := model.Collapse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tB := model.CollapseT(p)
+	res := sim.Run(MustOptmin(Params{N: adv.N(), T: tB, K: 3}), adv)
+	for b := 0; b < 3; b++ {
+		relay := p.ExtraCorrect + 3 + b
+		d := res.Decisions[relay]
+		if d == nil || d.Value != 3 || d.Time != 1 {
+			t.Errorf("relay %d: %+v, want 3@1", relay, d)
+		}
+	}
+	for i := 0; i < p.ExtraCorrect; i++ {
+		d := res.Decisions[i]
+		if d == nil || d.Value != 3 || d.Time != 2 {
+			t.Errorf("correct %d: %+v, want 3@2", i, d)
+		}
+	}
+}
+
+func TestOptminSilentRoundsTight(t *testing.T) {
+	// Worst-case family: k silent crashes per round for R rounds keeps
+	// HC = k through time R; everyone decides exactly at R+1 = ⌊f/k⌋+1.
+	k, R := 2, 3
+	adv, err := model.SilentRounds(k, R, k+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := adv.Pattern.NumFailures()
+	res := sim.Run(MustOptmin(Params{N: adv.N(), T: f, K: k}), adv)
+	want := f/k + 1
+	for i := 0; i < adv.N(); i++ {
+		if !adv.Pattern.Correct(i) {
+			continue
+		}
+		d := res.Decisions[i]
+		if d == nil || d.Time != want {
+			t.Errorf("correct %d: %+v, want decision at %d", i, d, want)
+		}
+	}
+}
+
+func TestUPminFailureFree(t *testing.T) {
+	// All-high failure-free: decide k at time 1 — persistence holds via
+	// the first disjunct (own value seen since time 0, complete round-1
+	// send guarantees it cannot fade).
+	adv := model.NewBuilder(5, 2).MustBuild()
+	res := sim.Run(MustUPmin(Params{N: 5, T: 3, K: 2}), adv)
+	for i := 0; i < 5; i++ {
+		d := res.Decisions[i]
+		if d == nil || d.Value != 2 || d.Time != 1 {
+			t.Errorf("process %d: %+v, want 2@1", i, d)
+		}
+	}
+}
+
+func TestUPminFreshLowWaitsForPersistence(t *testing.T) {
+	// Failure-free, t=3: one process holds 0. The holder decides at
+	// time 1 (own old value persists). A non-holder learns 0 at time 1
+	// but cannot yet know it persists (d=0, needs t−d = 3 holders at
+	// time 0); it decides at time 2 via rule 1.
+	adv := model.NewBuilder(5, 1).Input(0, 0).MustBuild()
+	res := sim.Run(MustUPmin(Params{N: 5, T: 3, K: 1}), adv)
+	if d := res.Decisions[0]; d.Value != 0 || d.Time != 1 {
+		t.Errorf("holder: %+v, want 0@1", d)
+	}
+	for i := 1; i < 5; i++ {
+		d := res.Decisions[i]
+		if d == nil || d.Value != 0 || d.Time != 2 {
+			t.Errorf("non-holder %d: %+v, want 0@2", i, d)
+		}
+	}
+}
+
+func TestUPminNobodyDecidesAtTimeZero(t *testing.T) {
+	// With t ≥ 1 persistence can never be known at time 0.
+	adv := model.NewBuilder(4, 0).MustBuild() // everyone low (value 0)
+	res := sim.Run(MustUPmin(Params{N: 4, T: 2, K: 1}), adv)
+	for i := 0; i < 4; i++ {
+		if d := res.Decisions[i]; d.Time == 0 {
+			t.Errorf("process %d decided at time 0 in uniform consensus with t>0", i)
+		}
+	}
+}
+
+func TestUPminCollapseScheduleHigh(t *testing.T) {
+	// Fig. 4 family, all-high: correct processes decide k at time 2;
+	// relays decide k at time 1. This is the headline separation run.
+	p := model.CollapseParams{K: 3, R: 4, ExtraCorrect: 4}
+	adv, err := model.Collapse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tB := model.CollapseT(p)
+	res := sim.Run(MustUPmin(Params{N: adv.N(), T: tB, K: 3}), adv)
+	for i := 0; i < p.ExtraCorrect; i++ {
+		d := res.Decisions[i]
+		if d == nil || d.Value != 3 || d.Time != 2 {
+			t.Errorf("correct %d: %+v, want 3@2", i, d)
+		}
+	}
+	for b := 0; b < 3; b++ {
+		relay := p.ExtraCorrect + 3 + b
+		d := res.Decisions[relay]
+		if d == nil || d.Value != 3 || d.Time != 1 {
+			t.Errorf("relay %d: %+v, want 3@1", relay, d)
+		}
+	}
+}
+
+func TestUPminCollapseScheduleLow(t *testing.T) {
+	// Low variant: the chain heads' low values are revealed to everyone
+	// at time 2 by the relays' complete round-2 send, but their
+	// persistence is only knowable at time 3; relays crash undecided.
+	p := model.CollapseParams{K: 3, R: 3, ExtraCorrect: 4, LowVariant: true}
+	adv, err := model.Collapse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tB := model.CollapseT(p)
+	res := sim.Run(MustUPmin(Params{N: adv.N(), T: tB, K: 3}), adv)
+	for i := 0; i < p.ExtraCorrect; i++ {
+		d := res.Decisions[i]
+		if d == nil || d.Value != 0 || d.Time != 3 {
+			t.Errorf("correct %d: %+v, want 0@3", i, d)
+		}
+	}
+	for b := 0; b < 3; b++ {
+		relay := p.ExtraCorrect + 3 + b
+		if d := res.Decisions[relay]; d != nil {
+			t.Errorf("relay %d decided %+v; it must crash undecided", relay, d)
+		}
+	}
+}
+
+func TestUPminSilentRoundsTight(t *testing.T) {
+	// Thm. 3 tightness: on SilentRounds with f = t = kR, u-Pmin decides at
+	// R+1 = min{⌊t/k⌋+1, ⌊f/k⌋+2}.
+	k, R := 2, 3
+	adv, err := model.SilentRounds(k, R, k+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := adv.Pattern.NumFailures()
+	res := sim.Run(MustUPmin(Params{N: adv.N(), T: f, K: k}), adv)
+	want := R + 1
+	for i := 0; i < adv.N(); i++ {
+		if !adv.Pattern.Correct(i) {
+			continue
+		}
+		d := res.Decisions[i]
+		if d == nil || d.Time != want {
+			t.Errorf("correct %d: %+v, want decision at %d", i, d, want)
+		}
+	}
+}
+
+func TestProp1BoundRandom(t *testing.T) {
+	// Proposition 1: every process decides by ⌊f/k⌋+1 under Optmin[k].
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 150; trial++ {
+		k := 1 + rng.Intn(3)
+		adv := model.Random(rng, model.RandomParams{N: 6, T: 4, MaxValue: k, MaxRound: 4})
+		f := adv.Pattern.NumFailures()
+		res := sim.Run(MustOptmin(Params{N: 6, T: 4, K: k}), adv)
+		bound := f/k + 1
+		for i := 0; i < 6; i++ {
+			if !adv.Pattern.Correct(i) {
+				continue
+			}
+			d := res.Decisions[i]
+			if d == nil {
+				t.Fatalf("trial %d (k=%d, %s): correct %d undecided", trial, k, adv, i)
+			}
+			if d.Time > bound {
+				t.Fatalf("trial %d (k=%d, %s): correct %d decided at %d > ⌊f/k⌋+1 = %d",
+					trial, k, adv, i, d.Time, bound)
+			}
+		}
+	}
+}
+
+func TestThm3BoundRandom(t *testing.T) {
+	// Theorem 3: every process decides by min{⌊t/k⌋+1, ⌊f/k⌋+2} under
+	// u-Pmin[k].
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 150; trial++ {
+		k := 1 + rng.Intn(3)
+		adv := model.Random(rng, model.RandomParams{N: 6, T: 4, MaxValue: k, MaxRound: 4})
+		f := adv.Pattern.NumFailures()
+		res := sim.Run(MustUPmin(Params{N: 6, T: 4, K: k}), adv)
+		bound := min(4/k+1, f/k+2)
+		for i := 0; i < 6; i++ {
+			if !adv.Pattern.Correct(i) {
+				continue
+			}
+			d := res.Decisions[i]
+			if d == nil {
+				t.Fatalf("trial %d (k=%d, %s): correct %d undecided", trial, k, adv, i)
+			}
+			if d.Time > bound {
+				t.Fatalf("trial %d (k=%d, %s): correct %d decided at %d > bound %d",
+					trial, k, adv, i, d.Time, bound)
+			}
+		}
+	}
+}
+
+func TestOptminDecidesOnlyWhenRuleHolds(t *testing.T) {
+	// The decision time equals the first time at which (low ∨ HC<k) —
+	// Optmin neither hesitates nor jumps the rule.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 80; trial++ {
+		k := 1 + rng.Intn(2)
+		adv := model.Random(rng, model.RandomParams{N: 5, T: 3, MaxValue: k, MaxRound: 3})
+		p := MustOptmin(Params{N: 5, T: 3, K: k})
+		res := sim.Run(p, adv)
+		g := res.Graph
+		for i := 0; i < 5; i++ {
+			d := res.Decisions[i]
+			if d == nil {
+				continue
+			}
+			if !(g.Low(i, d.Time, k) || g.HiddenCapacity(i, d.Time) < k) {
+				t.Fatalf("decision without rule at ⟨%d,%d⟩ (%s)", i, d.Time, adv)
+			}
+			for m := 0; m < d.Time; m++ {
+				if g.Low(i, m, k) || g.HiddenCapacity(i, m) < k {
+					t.Fatalf("rule held at ⟨%d,%d⟩ but decision at %d (%s)", i, m, d.Time, adv)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkOptminCollapse(b *testing.B) {
+	p := model.CollapseParams{K: 3, R: 5, ExtraCorrect: 4}
+	adv, err := model.Collapse(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto := MustOptmin(Params{N: adv.N(), T: model.CollapseT(p), K: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(proto, adv)
+	}
+}
+
+func BenchmarkUPminCollapse(b *testing.B) {
+	p := model.CollapseParams{K: 3, R: 5, ExtraCorrect: 4}
+	adv, err := model.Collapse(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto := MustUPmin(Params{N: adv.N(), T: model.CollapseT(p), K: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(proto, adv)
+	}
+}

@@ -1,0 +1,181 @@
+// Package enum enumerates adversaries exhaustively for small systems.
+// The unbeatability and conformance experiments quantify over "all runs";
+// for small (n, t, rounds, values) the adversary space is finite and this
+// package walks all of it, canonicalizing away unobservable differences
+// (deliveries to processes that are dead at receipt time).
+package enum
+
+import (
+	"fmt"
+	"math"
+
+	"setconsensus/internal/bitset"
+	"setconsensus/internal/model"
+)
+
+// Space bounds an exhaustive adversary enumeration.
+type Space struct {
+	N        int           // number of processes
+	T        int           // maximum number of crashes
+	MaxRound int           // crash rounds range over 1..MaxRound
+	Values   []model.Value // every input vector over this set is produced
+}
+
+// Validate sanity-checks the space.
+func (s Space) Validate() error {
+	if s.N < 2 || s.T < 0 || s.T > s.N-1 || s.MaxRound < 1 || len(s.Values) == 0 {
+		return fmt.Errorf("enum: invalid space %+v", s)
+	}
+	return nil
+}
+
+// CountUpperBound returns a loose upper bound on the number of adversaries
+// the space can yield before canonical deduplication (input vectors ×
+// failure patterns). It guards tests against accidentally huge spaces.
+func (s Space) CountUpperBound() float64 {
+	perCrasher := float64(s.MaxRound) * math.Pow(2, float64(s.N-1))
+	patterns := 1.0
+	choose := 1.0
+	for size := 1; size <= s.T; size++ {
+		choose = choose * float64(s.N-size+1) / float64(size)
+		patterns += choose * math.Pow(perCrasher, float64(size))
+	}
+	return patterns * math.Pow(float64(len(s.Values)), float64(s.N))
+}
+
+// ForEach calls fn for every canonically distinct adversary in the space,
+// in a deterministic order, until fn returns false. Two adversaries are
+// canonically identical when they differ only in crash-round deliveries
+// to processes that are already dead at receipt time (such deliveries are
+// unobservable: dead processes never read).
+func (s Space) ForEach(fn func(*model.Adversary) bool) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	seen := make(map[string]struct{})
+	cont := true
+	s.forEachPattern(func(fp *model.FailurePattern) bool {
+		canon := canonicalize(fp)
+		key := canon.String()
+		if _, dup := seen[key]; dup {
+			return true
+		}
+		seen[key] = struct{}{}
+		s.forEachInputs(func(inputs []model.Value) bool {
+			adv := model.NewAdversary(inputs, canon)
+			cont = fn(adv)
+			return cont
+		})
+		return cont
+	})
+	return nil
+}
+
+// Adversaries materializes the space. Intended for spaces known small.
+func (s Space) Adversaries() ([]*model.Adversary, error) {
+	var out []*model.Adversary
+	err := s.ForEach(func(a *model.Adversary) bool {
+		out = append(out, a)
+		return true
+	})
+	return out, err
+}
+
+// forEachPattern enumerates failure patterns: every subset of processes of
+// size ≤ T, every assignment of crash rounds, every delivery subset.
+func (s Space) forEachPattern(fn func(*model.FailurePattern) bool) {
+	var crashers []model.Proc
+	var rec func(next int) bool
+	rec = func(next int) bool {
+		// Current subset (possibly empty): enumerate its configurations.
+		if !s.forEachConfig(crashers, fn) {
+			return false
+		}
+		if len(crashers) == s.T {
+			return true
+		}
+		for p := next; p < s.N; p++ {
+			crashers = append(crashers, p)
+			ok := rec(p + 1)
+			crashers = crashers[:len(crashers)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// forEachConfig enumerates, for a fixed crasher subset, all crash rounds
+// and delivery sets.
+func (s Space) forEachConfig(crashers []model.Proc, fn func(*model.FailurePattern) bool) bool {
+	fp := model.NewFailurePattern(s.N)
+	var rec func(idx int) bool
+	rec = func(idx int) bool {
+		if idx == len(crashers) {
+			return fn(fp)
+		}
+		p := crashers[idx]
+		others := make([]model.Proc, 0, s.N-1)
+		for q := 0; q < s.N; q++ {
+			if q != p {
+				others = append(others, q)
+			}
+		}
+		for round := 1; round <= s.MaxRound; round++ {
+			for mask := 0; mask < 1<<uint(len(others)); mask++ {
+				d := bitset.New(s.N)
+				for b, q := range others {
+					if mask&(1<<uint(b)) != 0 {
+						d.Add(q)
+					}
+				}
+				fp.Crashes[p] = model.Crash{Round: round, Delivered: d}
+				if !rec(idx + 1) {
+					return false
+				}
+			}
+		}
+		delete(fp.Crashes, p)
+		return true
+	}
+	return rec(0)
+}
+
+// forEachInputs enumerates input vectors over s.Values.
+func (s Space) forEachInputs(fn func([]model.Value) bool) bool {
+	inputs := make([]model.Value, s.N)
+	var rec func(idx int) bool
+	rec = func(idx int) bool {
+		if idx == s.N {
+			return fn(inputs)
+		}
+		for _, v := range s.Values {
+			inputs[idx] = v
+			if !rec(idx + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// canonicalize strips unobservable deliveries: a crash-round message to a
+// receiver that is dead at receipt time is never read, and a delivery to
+// oneself is implicit. The result is a fresh pattern.
+func canonicalize(fp *model.FailurePattern) *model.FailurePattern {
+	out := model.NewFailurePattern(fp.N)
+	for p, c := range fp.Crashes {
+		d := bitset.New(fp.N)
+		c.Delivered.ForEach(func(q int) bool {
+			if q != p && fp.Active(q, c.Round) {
+				d.Add(q)
+			}
+			return true
+		})
+		out.Crashes[p] = model.Crash{Round: c.Round, Delivered: d}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package enum
+
+import (
+	"testing"
+
+	"setconsensus/internal/model"
+)
+
+func TestValidate(t *testing.T) {
+	good := Space{N: 3, T: 2, MaxRound: 2, Values: []model.Value{0, 1}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Space{
+		{N: 1, T: 0, MaxRound: 1, Values: []model.Value{0}},
+		{N: 3, T: 3, MaxRound: 1, Values: []model.Value{0}},
+		{N: 3, T: 1, MaxRound: 0, Values: []model.Value{0}},
+		{N: 3, T: 1, MaxRound: 1, Values: nil},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("space %+v must be invalid", bad)
+		}
+	}
+	if err := (Space{N: 1}).ForEach(func(*model.Adversary) bool { return true }); err == nil {
+		t.Error("ForEach must propagate validation errors")
+	}
+}
+
+func TestNoFailureSpace(t *testing.T) {
+	s := Space{N: 2, T: 0, MaxRound: 1, Values: []model.Value{0, 1}}
+	advs, err := s.Adversaries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One (empty) pattern × 4 input vectors.
+	if len(advs) != 4 {
+		t.Fatalf("got %d adversaries, want 4", len(advs))
+	}
+	for _, a := range advs {
+		if a.Pattern.NumFailures() != 0 {
+			t.Error("T=0 space produced a crash")
+		}
+	}
+}
+
+func TestSingleCrasherCount(t *testing.T) {
+	// N=2, T=1, MaxRound=1, one value: patterns are the empty one plus,
+	// for each process, crash in round 1 delivering to the other or not:
+	// canonically 1 + 2·2 = 5.
+	s := Space{N: 2, T: 1, MaxRound: 1, Values: []model.Value{0}}
+	advs, err := s.Adversaries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advs) != 5 {
+		for _, a := range advs {
+			t.Log(a)
+		}
+		t.Fatalf("got %d adversaries, want 5", len(advs))
+	}
+}
+
+func TestCanonicalizationDedups(t *testing.T) {
+	// N=3, T=2, rounds ≤ 2: a round-1 crasher delivering to another
+	// round-1 crasher is indistinguishable from not delivering — the
+	// enumeration must not produce both.
+	s := Space{N: 3, T: 2, MaxRound: 2, Values: []model.Value{0}}
+	seen := map[string]int{}
+	err := s.ForEach(func(a *model.Adversary) bool {
+		seen[a.Pattern.String()]++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, c := range seen {
+		if c > 1 {
+			t.Errorf("pattern %s produced %d times", k, c)
+		}
+	}
+	// Spot-check: a crash-round delivery to a dead receiver never appears.
+	for k := range seen {
+		_ = k
+	}
+	err = s.ForEach(func(a *model.Adversary) bool {
+		for p, c := range a.Pattern.Crashes {
+			c.Delivered.ForEach(func(q int) bool {
+				if !a.Pattern.Active(q, c.Round) {
+					t.Errorf("pattern %s delivers from %d to dead %d", a.Pattern, p, q)
+				}
+				return true
+			})
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	s := Space{N: 3, T: 1, MaxRound: 2, Values: []model.Value{0, 1}}
+	var a, b []string
+	if err := s.ForEach(func(adv *model.Adversary) bool { a = append(a, adv.String()); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ForEach(func(adv *model.Adversary) bool { b = append(b, adv.String()); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order differs at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := Space{N: 3, T: 2, MaxRound: 2, Values: []model.Value{0, 1}}
+	count := 0
+	if err := s.ForEach(func(*model.Adversary) bool { count++; return count < 10 }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("stopped after %d, want 10", count)
+	}
+}
+
+func TestAllAdversariesValid(t *testing.T) {
+	s := Space{N: 3, T: 2, MaxRound: 2, Values: []model.Value{0, 1}}
+	total := 0
+	err := s.ForEach(func(a *model.Adversary) bool {
+		total++
+		if err := a.Validate(s.T, 1); err != nil {
+			t.Fatalf("invalid adversary: %v", err)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("empty enumeration")
+	}
+	if ub := s.CountUpperBound(); float64(total) > ub {
+		t.Errorf("enumerated %d > upper bound %.0f", total, ub)
+	}
+	t.Logf("space N=3 T=2 R=2 |V|=2: %d canonical adversaries (bound %.0f)", total, s.CountUpperBound())
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment generator must run green and produce a non-trivial
+// table; each generator internally asserts its paper-shape claims (who
+// wins, bounds met, counts odd, certificates complete) and errors out on
+// any deviation, so this test is the end-to-end reproduction gate.
+func TestAllExperiments(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			if tbl.ID != e.ID {
+				t.Fatalf("table id %q under registry id %q", tbl.ID, e.ID)
+			}
+			out := tbl.Render()
+			if !strings.Contains(out, tbl.Title) {
+				t.Error("render must include the title")
+			}
+			t.Logf("\n%s", out)
+		})
+	}
+}
+
+func TestRunByID(t *testing.T) {
+	tbl, err := Run("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "E1" {
+		t.Fatalf("got %s", tbl.ID)
+	}
+	if _, err := Run("E99"); err == nil {
+		t.Error("unknown id must error")
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "t", Columns: []string{"a", "long-column"}}
+	tbl.AddRow("wide-cell", 1)
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+}

@@ -1,0 +1,102 @@
+// Package experiments regenerates every figure- and theorem-level claim
+// of the paper as a table (DESIGN.md §4, EXPERIMENTS.md). Each experiment
+// E1–E10 is a pure generator: deterministic, seeded, and cheap enough to
+// re-run on every invocation of cmd/experiments.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render formats the table as aligned text with a markdown-style header.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if w := len([]rune(cell)); i < len(widths) && w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Generator produces one experiment table.
+type Generator func() (*Table, error)
+
+// Registry maps experiment ids to generators, in presentation order.
+func Registry() []struct {
+	ID  string
+	Gen Generator
+} {
+	return []struct {
+		ID  string
+		Gen Generator
+	}{
+		{"E1", E1HiddenPath},
+		{"E2", E2HiddenCapacity},
+		{"E3", E3ForcedDecisions},
+		{"E4", E4Separation},
+		{"E5", E5Sperner},
+		{"E6", E6Bounds},
+		{"E7", E7Unbeatability},
+		{"E8", E8StarConnectivity},
+		{"E9", E9LastDecider},
+		{"E10", E10WireCost},
+	}
+}
+
+// Run looks up and executes one experiment by id.
+func Run(id string) (*Table, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Gen()
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,353 @@
+// Package knowledge implements the epistemic substrate of the paper: the
+// communication graph Gα of an adversary, the full-information views
+// Gα(i,m), and the derived classifications — seen, guaranteed crashed,
+// hidden — together with Vals/Min/low-high, the hidden capacity HC⟨i,m⟩
+// of Definition 2, known-failure counts, and the persistence predicate of
+// Definition 3.
+//
+// All protocols in this repository are full-information protocols
+// (following Coan's reduction, §2.1), so a protocol is exactly a decision
+// rule over the queries exposed here.
+package knowledge
+
+import (
+	"fmt"
+	"strings"
+
+	"setconsensus/internal/bitset"
+	"setconsensus/internal/model"
+)
+
+// NoKnownCrash is the sentinel "i has no proof j ever crashed".
+const NoKnownCrash = model.NoCrash
+
+// View is the full-information view Gα(i,m): for each layer ℓ ≤ m, the set
+// of processes j whose node ⟨j,ℓ⟩ is seen by ⟨i,m⟩ (i.e. a Lamport message
+// chain ⟨j,ℓ⟩ → ⟨i,m⟩ exists). Views of crashed processes are frozen at
+// their last active time: their Layers slice simply stays short.
+type View struct {
+	Proc model.Proc
+	Time int
+	// Layers[ℓ] = processes whose layer-ℓ node is seen. For a process
+	// crashed in round c, len(Layers) == c (layers 0..c−1 only).
+	Layers []*bitset.Set
+}
+
+// SeenAt reports whether ⟨j,ℓ⟩ is seen in this view.
+func (v *View) SeenAt(j model.Proc, l int) bool {
+	return l >= 0 && l < len(v.Layers) && v.Layers[l].Contains(j)
+}
+
+// Graph holds the communication graph of one adversary together with every
+// process's view at every time up to Horizon, plus the per-node
+// guaranteed-crash knowledge. It is immutable after construction.
+type Graph struct {
+	Adv     *model.Adversary
+	Horizon int
+
+	views [][]*View // views[m][i]
+	// knownCrash[m][i][j] = earliest round ρ such that ⟨i,m⟩ has proof
+	// that j crashed in a round ≤ ρ, or NoKnownCrash.
+	knownCrash [][][]int
+	// hiddenCount[m][i][l] = #{j : ⟨j,l⟩ hidden from ⟨i,m⟩}, l ≤ m.
+	hiddenCount [][][]int
+	// hc[m][i] = HC⟨i,m⟩ (Definition 2).
+	hc [][]int
+}
+
+// New computes the communication graph and all views of adv up to time
+// horizon (inclusive).
+func New(adv *model.Adversary, horizon int) *Graph {
+	n := adv.N()
+	g := &Graph{Adv: adv, Horizon: horizon}
+	g.views = make([][]*View, horizon+1)
+	g.knownCrash = make([][][]int, horizon+1)
+
+	g.views[0] = make([]*View, n)
+	for i := 0; i < n; i++ {
+		g.views[0][i] = &View{Proc: i, Time: 0, Layers: []*bitset.Set{bitset.New(n).Add(i)}}
+	}
+	for m := 1; m <= horizon; m++ {
+		g.views[m] = make([]*View, n)
+		for i := 0; i < n; i++ {
+			if !adv.Pattern.Active(i, m) {
+				// Frozen: the process performed no round-m receive.
+				g.views[m][i] = &View{Proc: i, Time: m, Layers: g.views[m-1][i].Layers}
+				continue
+			}
+			layers := make([]*bitset.Set, m+1)
+			for l := range layers {
+				layers[l] = bitset.New(n)
+			}
+			for j := 0; j < n; j++ {
+				if !adv.Pattern.Delivered(j, i, m) {
+					continue
+				}
+				prev := g.views[m-1][j]
+				for l, set := range prev.Layers {
+					layers[l].UnionWith(set)
+				}
+			}
+			layers[m].Add(i)
+			g.views[m][i] = &View{Proc: i, Time: m, Layers: layers}
+		}
+	}
+	for m := 0; m <= horizon; m++ {
+		g.knownCrash[m] = make([][]int, n)
+		for i := 0; i < n; i++ {
+			g.knownCrash[m][i] = g.computeKnownCrash(i, m)
+		}
+	}
+	g.hiddenCount = make([][][]int, horizon+1)
+	g.hc = make([][]int, horizon+1)
+	for m := 0; m <= horizon; m++ {
+		g.hiddenCount[m] = make([][]int, n)
+		g.hc[m] = make([]int, n)
+		for i := 0; i < n; i++ {
+			counts := make([]int, m+1)
+			minC := n
+			for l := 0; l <= m; l++ {
+				c := 0
+				for j := 0; j < n; j++ {
+					if g.hiddenAt(i, m, j, l) {
+						c++
+					}
+				}
+				counts[l] = c
+				if c < minC {
+					minC = c
+				}
+			}
+			g.hiddenCount[m][i] = counts
+			g.hc[m][i] = minC
+		}
+	}
+	return g
+}
+
+// hiddenAt is the raw classification used to build the tables: neither
+// seen nor guaranteed crashed.
+func (g *Graph) hiddenAt(i model.Proc, m int, j model.Proc, l int) bool {
+	return !g.views[m][i].SeenAt(j, l) && g.knownCrash[m][i][j] > l
+}
+
+// computeKnownCrash derives, from ⟨i,m⟩'s view, for each process j the
+// earliest round ρ for which the view contains proof that j crashed in a
+// round ≤ ρ: some seen node ⟨h,ρ⟩ (h receiving at time ρ) did not receive
+// j's round-ρ message.
+func (g *Graph) computeKnownCrash(i model.Proc, m int) []int {
+	n := g.Adv.N()
+	out := make([]int, n)
+	for j := range out {
+		out[j] = NoKnownCrash
+	}
+	v := g.views[m][i]
+	for rho := 1; rho < len(v.Layers); rho++ {
+		v.Layers[rho].ForEach(func(h int) bool {
+			// ⟨h,ρ⟩ seen implies h was receiving at time ρ (it either
+			// relayed afterwards, requiring crashRound(h) > ρ, or h == i
+			// active at m ≥ ρ).
+			for j := 0; j < n; j++ {
+				if j == h {
+					continue
+				}
+				if !g.Adv.Pattern.Delivered(j, h, rho) && rho < out[j] {
+					out[j] = rho
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// View returns the view of process i at time m. It panics if m exceeds the
+// horizon: that is a programming error in the caller, not a run condition.
+func (g *Graph) View(i model.Proc, m int) *View {
+	if m < 0 || m > g.Horizon {
+		panic(fmt.Sprintf("knowledge: view ⟨%d,%d⟩ outside horizon %d", i, m, g.Horizon))
+	}
+	return g.views[m][i]
+}
+
+// Seen reports whether ⟨j,ℓ⟩ is seen by ⟨i,m⟩.
+func (g *Graph) Seen(i model.Proc, m int, j model.Proc, l int) bool {
+	return g.View(i, m).SeenAt(j, l)
+}
+
+// SeenSet returns the set of processes whose layer-ℓ node is seen by
+// ⟨i,m⟩ (a defensive copy).
+func (g *Graph) SeenSet(i model.Proc, m, l int) *bitset.Set {
+	v := g.View(i, m)
+	if l < 0 || l >= len(v.Layers) {
+		return bitset.New(g.Adv.N())
+	}
+	return v.Layers[l].Clone()
+}
+
+// KnownCrashRound returns the earliest round ρ such that ⟨i,m⟩ can prove j
+// crashed in a round ≤ ρ, or NoKnownCrash.
+func (g *Graph) KnownCrashRound(i model.Proc, m int, j model.Proc) int {
+	if m < 0 || m > g.Horizon {
+		panic(fmt.Sprintf("knowledge: ⟨%d,%d⟩ outside horizon %d", i, m, g.Horizon))
+	}
+	return g.knownCrash[m][i][j]
+}
+
+// GuaranteedCrashed reports whether ⟨j,ℓ⟩ is guaranteed crashed at ⟨i,m⟩:
+// i has proof at time m that j crashed before time ℓ (in a round ≤ ℓ).
+func (g *Graph) GuaranteedCrashed(i model.Proc, m int, j model.Proc, l int) bool {
+	return g.KnownCrashRound(i, m, j) <= l
+}
+
+// Hidden reports whether ⟨j,ℓ⟩ is hidden from ⟨i,m⟩: neither seen nor
+// guaranteed crashed.
+func (g *Graph) Hidden(i model.Proc, m int, j model.Proc, l int) bool {
+	return !g.Seen(i, m, j, l) && !g.GuaranteedCrashed(i, m, j, l)
+}
+
+// HiddenSet returns the processes j with ⟨j,ℓ⟩ hidden from ⟨i,m⟩.
+func (g *Graph) HiddenSet(i model.Proc, m, l int) *bitset.Set {
+	n := g.Adv.N()
+	out := bitset.New(n)
+	for j := 0; j < n; j++ {
+		if g.Hidden(i, m, j, l) {
+			out.Add(j)
+		}
+	}
+	return out
+}
+
+// HiddenCount returns |HiddenSet(i,m,ℓ)| from the precomputed table.
+func (g *Graph) HiddenCount(i model.Proc, m, l int) int {
+	if m < 0 || m > g.Horizon {
+		panic(fmt.Sprintf("knowledge: ⟨%d,%d⟩ outside horizon %d", i, m, g.Horizon))
+	}
+	return g.hiddenCount[m][i][l]
+}
+
+// HiddenCapacity returns HC⟨i,m⟩ of Definition 2: the maximum c such that
+// every layer ℓ ≤ m holds at least c nodes hidden from ⟨i,m⟩ — that is,
+// the minimum over layers of the per-layer hidden count.
+func (g *Graph) HiddenCapacity(i model.Proc, m int) int {
+	if m < 0 || m > g.Horizon {
+		panic(fmt.Sprintf("knowledge: ⟨%d,%d⟩ outside horizon %d", i, m, g.Horizon))
+	}
+	return g.hc[m][i]
+}
+
+// HiddenCapacityWitnesses returns, for each layer ℓ ≤ m, a set of exactly
+// HC⟨i,m⟩ hidden witnesses at that layer (the i_b^ℓ of Definition 2),
+// chosen as the lowest-numbered hidden processes.
+func (g *Graph) HiddenCapacityWitnesses(i model.Proc, m int) [][]model.Proc {
+	hc := g.HiddenCapacity(i, m)
+	out := make([][]model.Proc, m+1)
+	for l := 0; l <= m; l++ {
+		hs := g.HiddenSet(i, m, l).Elems()
+		out[l] = hs[:hc]
+	}
+	return out
+}
+
+// FailuresKnown returns the number of distinct processes that ⟨i,m⟩ can
+// prove to have crashed (the d of Definition 3).
+func (g *Graph) FailuresKnown(i model.Proc, m int) int {
+	d := 0
+	for _, r := range g.knownCrash[m][i] {
+		if r != NoKnownCrash {
+			d++
+		}
+	}
+	return d
+}
+
+// Vals returns the set of initial values v such that Ki∃v holds at ⟨i,m⟩:
+// the values of the layer-0 nodes seen by ⟨i,m⟩ (Definition 5).
+func (g *Graph) Vals(i model.Proc, m int) *bitset.Set {
+	out := &bitset.Set{}
+	g.View(i, m).Layers[0].ForEach(func(j int) bool {
+		out.Add(g.Adv.Inputs[j])
+		return true
+	})
+	return out
+}
+
+// Min returns Min⟨i,m⟩, the minimal value i has seen by time m. Every view
+// contains at least the process's own initial node, so Min is total.
+func (g *Graph) Min(i model.Proc, m int) model.Value {
+	v, ok := g.Vals(i, m).Min()
+	if !ok {
+		panic(fmt.Sprintf("knowledge: empty Vals at ⟨%d,%d⟩", i, m))
+	}
+	return v
+}
+
+// Low reports whether i is low at time m for parameter k: Min⟨i,m⟩ < k.
+func (g *Graph) Low(i model.Proc, m, k int) bool { return g.Min(i, m) < k }
+
+// LastSeen returns the maximum ℓ such that ⟨j,ℓ⟩ is seen by ⟨i,m⟩, or −1
+// if no node of j is seen at all.
+func (g *Graph) LastSeen(i model.Proc, m int, j model.Proc) int {
+	v := g.View(i, m)
+	for l := len(v.Layers) - 1; l >= 0; l-- {
+		if v.Layers[l].Contains(j) {
+			return l
+		}
+	}
+	return -1
+}
+
+// Persists implements Definition 3: whether i knows at time m that value v
+// will persist, given the a-priori crash bound t. The second disjunct is
+// vacuously true once i knows of at least t failures.
+func (g *Graph) Persists(i model.Proc, m int, v model.Value, t int) bool {
+	if m > 0 && g.Adv.Pattern.Active(i, m) && g.Vals(i, m-1).Contains(v) {
+		return true
+	}
+	d := g.FailuresKnown(i, m)
+	need := t - d
+	if need <= 0 {
+		return true
+	}
+	if m == 0 {
+		return false
+	}
+	count := 0
+	g.SeenSet(i, m, m-1).ForEach(func(j int) bool {
+		if g.Vals(j, m-1).Contains(v) {
+			count++
+		}
+		return count < need
+	})
+	return count >= need
+}
+
+// Fingerprint returns a canonical string encoding of the view Gα(i,m) —
+// its node set, the in-neighbourhood of every non-initial node, and the
+// initial values labelling layer 0. Two nodes across (possibly different)
+// adversaries have equal local states in the full-information protocol iff
+// their fingerprints are equal. (The in-neighbourhoods determine the edge
+// set of the view: whenever ⟨h,ρ⟩ is in a view, all of h's round-ρ
+// senders are too.)
+func (g *Graph) Fingerprint(i model.Proc, m int) string {
+	v := g.View(i, m)
+	var b strings.Builder
+	fmt.Fprintf(&b, "⟨%d,%d⟩|", i, m)
+	v.Layers[0].ForEach(func(j int) bool {
+		fmt.Fprintf(&b, "0:%d=%d;", j, g.Adv.Inputs[j])
+		return true
+	})
+	for l := 1; l < len(v.Layers); l++ {
+		v.Layers[l].ForEach(func(h int) bool {
+			fmt.Fprintf(&b, "%d:%d<", l, h)
+			for j := 0; j < g.Adv.N(); j++ {
+				if g.Adv.Pattern.Delivered(j, h, l) {
+					fmt.Fprintf(&b, "%d,", j)
+				}
+			}
+			b.WriteByte(';')
+			return true
+		})
+	}
+	return b.String()
+}

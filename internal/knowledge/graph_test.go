@@ -1,0 +1,435 @@
+package knowledge
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"setconsensus/internal/model"
+)
+
+// chainExists is an independent reference implementation of "seen":
+// a Lamport message chain ⟨j,ℓ⟩ → ⟨i,m⟩ through delivered messages.
+func chainExists(adv *model.Adversary, j model.Proc, l int, i model.Proc, m int) bool {
+	if l > m {
+		return false
+	}
+	if l == m {
+		return i == j
+	}
+	// One step: ⟨j,ℓ⟩ → ⟨h,ℓ+1⟩ for every h that received j's round-ℓ+1
+	// message and was alive to receive it (active at ℓ+1), plus j itself
+	// if alive.
+	for h := 0; h < adv.N(); h++ {
+		if !adv.Pattern.Delivered(j, h, l+1) {
+			continue
+		}
+		if !adv.Pattern.Active(h, l+1) {
+			continue // dead receivers never read their inbox
+		}
+		if chainExists(adv, h, l+1, i, m) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFailureFreeViews(t *testing.T) {
+	adv := model.NewBuilder(4, 0).Inputs(3, 1, 2, 0).MustBuild()
+	g := New(adv, 2)
+	// At time 0: each process sees only itself.
+	for i := 0; i < 4; i++ {
+		if got := g.SeenSet(i, 0, 0).Count(); got != 1 {
+			t.Errorf("⟨%d,0⟩ sees %d layer-0 nodes, want 1", i, got)
+		}
+		if g.Min(i, 0) != adv.Inputs[i] {
+			t.Errorf("Min⟨%d,0⟩ = %d", i, g.Min(i, 0))
+		}
+	}
+	// After one failure-free round: everyone sees all initial nodes.
+	for i := 0; i < 4; i++ {
+		if got := g.SeenSet(i, 1, 0).Count(); got != 4 {
+			t.Errorf("⟨%d,1⟩ sees %d layer-0 nodes, want 4", i, got)
+		}
+		if g.Min(i, 1) != 0 {
+			t.Errorf("Min⟨%d,1⟩ = %d, want 0", i, g.Min(i, 1))
+		}
+		if hc := g.HiddenCapacity(i, 1); hc != 0 {
+			t.Errorf("HC⟨%d,1⟩ = %d, want 0 (layer 0 fully seen)", i, hc)
+		}
+	}
+	// At time 0 everything else is hidden: HC = n−1.
+	if hc := g.HiddenCapacity(0, 0); hc != 3 {
+		t.Errorf("HC⟨0,0⟩ = %d, want 3", hc)
+	}
+}
+
+func TestHiddenPathFig1(t *testing.T) {
+	// Fig. 1: chain 1→2→3 passes value 0; observer 0 has a hidden path at
+	// time 2.
+	adv, err := model.HiddenPath(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(adv, 3)
+
+	if g.Vals(0, 2).Contains(0) {
+		t.Error("observer must not know ∃0 at time 2")
+	}
+	if !g.Hidden(0, 2, 1, 0) {
+		t.Error("⟨1,0⟩ (chain head) must be hidden from ⟨0,2⟩")
+	}
+	if !g.Hidden(0, 2, 2, 1) {
+		t.Error("⟨2,1⟩ must be hidden from ⟨0,2⟩")
+	}
+	if !g.Hidden(0, 2, 3, 2) {
+		t.Error("⟨3,2⟩ must be hidden from ⟨0,2⟩ (current layer)")
+	}
+	if hc := g.HiddenCapacity(0, 2); hc < 1 {
+		t.Errorf("hidden path ⟹ HC⟨0,2⟩ ≥ 1, got %d", hc)
+	}
+	// The chain end saw the hidden value.
+	if !g.Vals(3, 2).Contains(0) {
+		t.Error("process 3 must have seen 0 at time 2")
+	}
+	if g.Min(3, 2) != 0 {
+		t.Errorf("Min⟨3,2⟩ = %d, want 0", g.Min(3, 2))
+	}
+	// One round later the path is exhausted: 3 is correct, so it floods 0.
+	if !g.Vals(0, 3).Contains(0) {
+		t.Error("observer must learn ∃0 at time 3")
+	}
+}
+
+func TestHiddenChainsFig2(t *testing.T) {
+	// Fig. 2: c = 3 chains of depth m = 2 over n = 10: HC⟨0,2⟩ = 3.
+	adv, err := model.HiddenChains(10, 3, 2, []model.Value{0, 1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(adv, 2)
+	if hc := g.HiddenCapacity(0, 2); hc != 3 {
+		t.Fatalf("HC⟨0,2⟩ = %d, want 3", hc)
+	}
+	// The designated witnesses are hidden at each layer.
+	for b := 0; b < 3; b++ {
+		for l := 0; l <= 2; l++ {
+			w := model.ChainWitness(b, l, 2)
+			if !g.Hidden(0, 2, w, l) {
+				t.Errorf("witness ⟨%d,%d⟩ (chain %d) not hidden from ⟨0,2⟩", w, l, b)
+			}
+		}
+	}
+	// Each chain tail knows exactly its chain value among the low values.
+	for b := 0; b < 3; b++ {
+		tail := model.ChainWitness(b, 2, 2)
+		vals := g.Vals(tail, 2)
+		if !vals.Contains(b) {
+			t.Errorf("chain %d tail missing value %d", b, b)
+		}
+		for other := 0; other < 3; other++ {
+			if other != b && vals.Contains(other) {
+				t.Errorf("chain %d tail leaked value %d", b, other)
+			}
+		}
+	}
+	// Witness sets per layer have exactly HC elements.
+	w := g.HiddenCapacityWitnesses(0, 2)
+	for l, ws := range w {
+		if len(ws) != 3 {
+			t.Errorf("layer %d witnesses = %v", l, ws)
+		}
+	}
+}
+
+func TestGuaranteedCrashedSilent(t *testing.T) {
+	// Process 1 crashes silently in round 2 of a 3-process system.
+	adv := model.NewBuilder(3, 0).CrashSilent(1, 2).MustBuild()
+	g := New(adv, 3)
+
+	// At time 1 nobody can prove anything (round 1 was clean).
+	if g.KnownCrashRound(0, 1, 1) != NoKnownCrash {
+		t.Error("no proof should exist at time 1")
+	}
+	// At time 2, everyone missed 1's round-2 message: crashed in round ≤ 2.
+	if got := g.KnownCrashRound(0, 2, 1); got != 2 {
+		t.Errorf("KnownCrashRound = %d, want 2", got)
+	}
+	if !g.GuaranteedCrashed(0, 2, 1, 2) {
+		t.Error("⟨1,2⟩ must be guaranteed crashed at ⟨0,2⟩")
+	}
+	if g.GuaranteedCrashed(0, 2, 1, 1) {
+		t.Error("⟨1,1⟩ must NOT be guaranteed crashed (1 completed round 1)")
+	}
+	// ⟨1,1⟩ is hidden from ⟨0,2⟩ forever: unseen, never provably crashed
+	// before time 1.
+	if !g.Hidden(0, 2, 1, 1) || !g.Hidden(0, 3, 1, 1) {
+		t.Error("⟨1,1⟩ must stay hidden")
+	}
+	if g.Hidden(0, 2, 1, 2) {
+		t.Error("⟨1,2⟩ is guaranteed crashed, not hidden")
+	}
+	if g.FailuresKnown(0, 2) != 1 {
+		t.Errorf("FailuresKnown = %d", g.FailuresKnown(0, 2))
+	}
+}
+
+func TestGuaranteedCrashedViaGossip(t *testing.T) {
+	// 1 crashes in round 1 delivering only to 2. Process 0 observes the
+	// miss directly; process 3 hears about it from 0 or 2's round-2 state.
+	adv := model.NewBuilder(4, 0).CrashSendingTo(1, 1, 2).MustBuild()
+	g := New(adv, 2)
+	if got := g.KnownCrashRound(0, 1, 1); got != 1 {
+		t.Errorf("direct observer: round = %d, want 1", got)
+	}
+	// Receiver 2 saw 1's message, so at time 1 it has no proof.
+	if g.KnownCrashRound(2, 1, 1) != NoKnownCrash {
+		t.Error("receiver 2 should have no proof at time 1")
+	}
+	// After gossip at time 2, 2 knows (it sees ⟨0,1⟩ which missed 1).
+	if got := g.KnownCrashRound(2, 2, 1); got != 1 {
+		t.Errorf("gossiped proof: round = %d, want 1", got)
+	}
+	// ⟨1,0⟩ seen by 2 (via the delivered round-1 message) and later by all.
+	if !g.Seen(2, 1, 1, 0) {
+		t.Error("⟨1,0⟩ must be seen by ⟨2,1⟩")
+	}
+	if !g.Seen(0, 2, 1, 0) {
+		t.Error("⟨1,0⟩ must reach ⟨0,2⟩ via 2's relay")
+	}
+}
+
+func TestFrozenViews(t *testing.T) {
+	adv := model.NewBuilder(3, 0).Inputs(0, 1, 2).CrashSilent(1, 1).MustBuild()
+	g := New(adv, 3)
+	v := g.View(1, 3)
+	if len(v.Layers) != 1 {
+		t.Fatalf("crashed-in-round-1 view has %d layers, want 1 (frozen at time 0)", len(v.Layers))
+	}
+	if g.Min(1, 3) != 1 {
+		t.Errorf("frozen Min = %d", g.Min(1, 3))
+	}
+	// Nobody ever sees 1's initial node.
+	if g.Seen(0, 3, 1, 0) {
+		t.Error("silent round-1 crasher's initial node must be unseen")
+	}
+}
+
+func TestLastSeen(t *testing.T) {
+	// 1 crashes round 2 delivering only to 2: everyone saw ⟨1,0⟩ (round 1
+	// was complete); only 2 (and, after relay, everyone) sees ⟨1,1⟩.
+	adv := model.NewBuilder(4, 0).CrashSendingTo(1, 2, 2).MustBuild()
+	g := New(adv, 3)
+	if got := g.LastSeen(0, 1, 1); got != 0 {
+		t.Errorf("LastSeen⟨0,1⟩(1) = %d, want 0", got)
+	}
+	if got := g.LastSeen(2, 2, 1); got != 1 {
+		t.Errorf("LastSeen⟨2,2⟩(1) = %d, want 1", got)
+	}
+	if got := g.LastSeen(0, 3, 1); got != 1 {
+		t.Errorf("after relay LastSeen⟨0,3⟩(1) = %d, want 1", got)
+	}
+	if got := g.LastSeen(0, 0, 1); got != -1 {
+		t.Errorf("LastSeen⟨0,0⟩(1) = %d, want −1", got)
+	}
+}
+
+func TestPersists(t *testing.T) {
+	// t = 2; 4 processes, no crashes.
+	adv := model.NewBuilder(4, 1).Input(0, 0).MustBuild()
+	g := New(adv, 3)
+	// At time 0 nothing persists (d=0 < t and no previous knowledge).
+	if g.Persists(0, 0, 0, 2) {
+		t.Error("nothing persists at time 0 with t>0")
+	}
+	// But with t = 0 everything known persists vacuously.
+	if !g.Persists(0, 0, 0, 0) {
+		t.Error("t=0 ⟹ persistence vacuous")
+	}
+	// At time 1, process 0 has seen 0 since time 0: first disjunct.
+	if !g.Persists(0, 1, 0, 2) {
+		t.Error("own old value must persist")
+	}
+	// Process 1 first sees 0 at time 1; it saw ≥ t−d = 2 time-0 nodes that
+	// had seen… only ⟨0,0⟩ had seen value 0, so count 1 < 2: not persistent.
+	if g.Persists(1, 1, 0, 2) {
+		t.Error("freshly learned value must not persist at t=2 with one holder")
+	}
+	// At time 2 everyone saw 0 by time 1: persists.
+	if !g.Persists(1, 2, 0, 2) {
+		t.Error("value must persist at time 2")
+	}
+	// Second disjunct: with t = 1, process 1 at time 1 sees ≥ t−d = 1
+	// time-0 node that saw 0 (namely ⟨0,0⟩).
+	if !g.Persists(1, 1, 0, 1) {
+		t.Error("t−d=1 holder suffices")
+	}
+}
+
+func TestPersistsVacuousOnKnownFailures(t *testing.T) {
+	// t = 1 and the single allowed crash is already known: vacuous.
+	adv := model.NewBuilder(3, 1).Input(0, 0).CrashSilent(2, 1).MustBuild()
+	g := New(adv, 2)
+	if g.FailuresKnown(1, 1) != 1 {
+		t.Fatalf("FailuresKnown = %d", g.FailuresKnown(1, 1))
+	}
+	if !g.Persists(1, 1, 0, 1) {
+		t.Error("d ≥ t ⟹ everything persists")
+	}
+}
+
+func TestFingerprintEquality(t *testing.T) {
+	// Two adversaries that differ only in a region invisible to ⟨0,1⟩:
+	// process 3's input, which 0 sees at time 1… so change something it
+	// cannot see: whether 2 crashed in round 2.
+	a1 := model.NewBuilder(4, 1).Input(0, 0).MustBuild()
+	a2 := model.NewBuilder(4, 1).Input(0, 0).CrashSilent(2, 2).MustBuild()
+	g1, g2 := New(a1, 2), New(a2, 2)
+	if g1.Fingerprint(0, 1) != g2.Fingerprint(0, 1) {
+		t.Error("⟨0,1⟩ cannot distinguish a round-2 crash it has not observed")
+	}
+	if g1.Fingerprint(0, 2) == g2.Fingerprint(0, 2) {
+		t.Error("⟨0,2⟩ observes 2's silence and must distinguish")
+	}
+	// Different inputs at a seen node must distinguish.
+	a3 := model.NewBuilder(4, 1).Input(0, 1).MustBuild()
+	if New(a3, 1).Fingerprint(0, 1) == g1.Fingerprint(0, 1) {
+		t.Error("different seen inputs must change the fingerprint")
+	}
+}
+
+func TestSeenMatchesChainReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		adv := model.Random(rng, model.RandomParams{N: 5, T: 3, MaxValue: 2, MaxRound: 3})
+		g := New(adv, 4)
+		for i := 0; i < 5; i++ {
+			for m := 0; m <= 4; m++ {
+				if !adv.Pattern.Active(i, m) {
+					continue
+				}
+				for j := 0; j < 5; j++ {
+					for l := 0; l <= m; l++ {
+						want := chainExists(adv, j, l, i, m)
+						if got := g.Seen(i, m, j, l); got != want {
+							t.Fatalf("adv=%s: Seen(⟨%d,%d⟩ sees ⟨%d,%d⟩) = %v, reference %v",
+								adv, i, m, j, l, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property (Remark 1): hidden capacity is weakly decreasing in m for
+// processes that stay active.
+func TestQuickHCMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		adv := model.Random(rng, model.RandomParams{N: 6, T: 4, MaxValue: 2, MaxRound: 3})
+		g := New(adv, 4)
+		for i := 0; i < 6; i++ {
+			prev := -1
+			for m := 0; m <= 4; m++ {
+				if !adv.Pattern.Active(i, m) {
+					break
+				}
+				hc := g.HiddenCapacity(i, m)
+				if prev >= 0 && hc > prev {
+					return false
+				}
+				prev = hc
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: knowledge of crashes is sound — a process is never "proven"
+// crashed in a round earlier than its true crash round, and correct
+// processes are never accused.
+func TestQuickKnownCrashSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		adv := model.Random(rng, model.RandomParams{N: 6, T: 5, MaxValue: 1, MaxRound: 3})
+		g := New(adv, 4)
+		for i := 0; i < 6; i++ {
+			for m := 0; m <= 4; m++ {
+				if !adv.Pattern.Active(i, m) {
+					continue
+				}
+				for j := 0; j < 6; j++ {
+					kr := g.KnownCrashRound(i, m, j)
+					if kr == NoKnownCrash {
+						continue
+					}
+					if adv.Pattern.Correct(j) {
+						return false // accused a correct process
+					}
+					if adv.Pattern.CrashRound(j) > kr {
+						return false // proof earlier than reality
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Vals grows monotonically over time for active processes, and
+// always contains the process's own input.
+func TestQuickValsMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		adv := model.Random(rng, model.RandomParams{N: 5, T: 3, MaxValue: 3, MaxRound: 2})
+		g := New(adv, 3)
+		for i := 0; i < 5; i++ {
+			for m := 0; m <= 3; m++ {
+				if !adv.Pattern.Active(i, m) {
+					break
+				}
+				vals := g.Vals(i, m)
+				if !vals.Contains(adv.Inputs[i]) {
+					return false
+				}
+				if m > 0 && !g.Vals(i, m-1).SubsetOf(vals) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGraphConstruction(b *testing.B) {
+	adv, err := model.Collapse(model.CollapseParams{K: 3, R: 5, ExtraCorrect: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(adv, 8)
+	}
+}
+
+func BenchmarkHiddenCapacity(b *testing.B) {
+	adv, err := model.Collapse(model.CollapseParams{K: 3, R: 5, ExtraCorrect: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := New(adv, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HiddenCapacity(0, 8)
+	}
+}

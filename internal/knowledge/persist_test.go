@@ -1,0 +1,47 @@
+package knowledge
+
+import (
+	"math/rand"
+	"testing"
+
+	"setconsensus/internal/model"
+)
+
+// TestPersistsSemantics validates the claim the paper attaches to
+// Definition 3: "if i knows at time m that v will persist, then all
+// active nodes at time m+1 will know ∃v". Checked over seeded random
+// adversaries whose crash count respects the bound t the predicate is
+// evaluated with.
+func TestPersistsSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	checked := 0
+	for trial := 0; trial < 400; trial++ {
+		tBound := 1 + rng.Intn(4)
+		adv := model.Random(rng, model.RandomParams{N: 6, T: tBound, MaxValue: 3, MaxRound: 3})
+		g := New(adv, 4)
+		for i := 0; i < 6; i++ {
+			for m := 0; m < 4; m++ {
+				if !adv.Pattern.Active(i, m) {
+					continue
+				}
+				g.Vals(i, m).ForEach(func(v int) bool {
+					if !g.Persists(i, m, v, tBound) {
+						return true
+					}
+					checked++
+					for j := 0; j < 6; j++ {
+						if adv.Pattern.Active(j, m+1) && !g.Vals(j, m+1).Contains(v) {
+							t.Fatalf("Persists⟨%d,%d⟩(%d) but ⟨%d,%d⟩ lacks it (t=%d, %s)",
+								i, m, v, j, m+1, tBound, adv)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no persistence instances exercised")
+	}
+	t.Logf("validated %d persistence claims", checked)
+}

@@ -1,0 +1,74 @@
+package knowledge
+
+import (
+	"testing"
+
+	"setconsensus/internal/model"
+)
+
+func TestSeenSetDefensiveCopy(t *testing.T) {
+	adv := model.NewBuilder(3, 0).MustBuild()
+	g := New(adv, 1)
+	s := g.SeenSet(0, 1, 0)
+	s.Remove(1)
+	if !g.Seen(0, 1, 1, 0) {
+		t.Error("mutating a SeenSet copy must not alter the graph")
+	}
+	if got := g.SeenSet(0, 1, 5).Count(); got != 0 {
+		t.Errorf("out-of-range layer must be empty, got %d", got)
+	}
+}
+
+func TestHorizonPanics(t *testing.T) {
+	adv := model.NewBuilder(3, 0).MustBuild()
+	g := New(adv, 1)
+	for name, fn := range map[string]func(){
+		"View":           func() { g.View(0, 2) },
+		"HiddenCapacity": func() { g.HiddenCapacity(0, -1) },
+		"KnownCrash":     func() { g.KnownCrashRound(0, 9, 1) },
+		"HiddenCount":    func() { g.HiddenCount(0, 3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s beyond horizon must panic (caller bug)", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWitnessesMatchHiddenSets(t *testing.T) {
+	adv, err := model.HiddenChains(10, 2, 2, []model.Value{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(adv, 2)
+	ws := g.HiddenCapacityWitnesses(0, 2)
+	hc := g.HiddenCapacity(0, 2)
+	if len(ws) != 3 {
+		t.Fatalf("layers = %d", len(ws))
+	}
+	for l, layer := range ws {
+		if len(layer) != hc {
+			t.Errorf("layer %d has %d witnesses, want %d", l, len(layer), hc)
+		}
+		for _, w := range layer {
+			if !g.Hidden(0, 2, w, l) {
+				t.Errorf("witness %d not hidden at layer %d", w, l)
+			}
+		}
+	}
+}
+
+func TestFingerprintDistinguishesProcAndTime(t *testing.T) {
+	adv := model.NewBuilder(3, 0).MustBuild()
+	g := New(adv, 2)
+	if g.Fingerprint(0, 1) == g.Fingerprint(1, 1) {
+		t.Error("fingerprints of different processes must differ")
+	}
+	if g.Fingerprint(0, 1) == g.Fingerprint(0, 2) {
+		t.Error("fingerprints of different times must differ")
+	}
+}

@@ -1,0 +1,235 @@
+// Package model defines the synchronous crash-failure computation model of
+// the paper: input vectors, failure patterns, and adversaries.
+//
+// Terminology follows Section 2.1 of Castañeda–Gonczarowski–Moses:
+// round m+1 takes place between time m and time m+1; a process crashing in
+// round c behaves correctly in rounds 1..c−1, delivers an arbitrary subset
+// of its round-c messages, and is silent from round c+1 on. A pair
+// (input vector, failure pattern) is an adversary.
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"setconsensus/internal/bitset"
+)
+
+// Proc identifies a process. Processes are numbered 0..n−1. (The paper
+// numbers them 1..n; zero-basing is an implementation convenience and is
+// reflected everywhere consistently.)
+type Proc = int
+
+// Value is an initial or decided value. In k-set consensus values range
+// over {0,…,k} by default, and {0,…,d} with d ≥ k under the footnote-4
+// generalization; values < k are "low", values ≥ k are "high".
+type Value = int
+
+// NoCrash is the crash round recorded for correct processes; it compares
+// greater than every real round.
+const NoCrash = int(^uint(0) >> 1) // max int
+
+// Crash describes the failure of one process: the round in which it
+// crashes (≥ 1) and the set of processes that still receive its crash-round
+// message. Deliveries to itself are meaningless and ignored.
+type Crash struct {
+	Round     int
+	Delivered *bitset.Set
+}
+
+// FailurePattern maps each faulty process to its Crash. It corresponds to
+// the layered graph F of the paper restricted to crash failures.
+type FailurePattern struct {
+	N       int
+	Crashes map[Proc]Crash
+}
+
+// NewFailurePattern returns a failure-free pattern over n processes.
+func NewFailurePattern(n int) *FailurePattern {
+	return &FailurePattern{N: n, Crashes: make(map[Proc]Crash)}
+}
+
+// Clone returns a deep copy of the pattern.
+func (f *FailurePattern) Clone() *FailurePattern {
+	c := NewFailurePattern(f.N)
+	for p, cr := range f.Crashes {
+		c.Crashes[p] = Crash{Round: cr.Round, Delivered: cr.Delivered.Clone()}
+	}
+	return c
+}
+
+// CrashRound returns the round in which p crashes, or NoCrash.
+func (f *FailurePattern) CrashRound(p Proc) int {
+	if c, ok := f.Crashes[p]; ok {
+		return c.Round
+	}
+	return NoCrash
+}
+
+// Faulty reports whether p crashes at all.
+func (f *FailurePattern) Faulty(p Proc) bool {
+	_, ok := f.Crashes[p]
+	return ok
+}
+
+// NumFailures returns f, the number of processes that crash.
+func (f *FailurePattern) NumFailures() int { return len(f.Crashes) }
+
+// Active reports whether p is alive at time m: it has not crashed in any
+// round ≤ m. A process crashing in round c is active at times 0..c−1.
+func (f *FailurePattern) Active(p Proc, m int) bool {
+	return f.CrashRound(p) > m
+}
+
+// Correct reports whether p never crashes.
+func (f *FailurePattern) Correct(p Proc) bool { return !f.Faulty(p) }
+
+// CorrectProcs returns the set of processes that never crash.
+func (f *FailurePattern) CorrectProcs() *bitset.Set {
+	s := bitset.New(f.N)
+	for p := 0; p < f.N; p++ {
+		if f.Correct(p) {
+			s.Add(p)
+		}
+	}
+	return s
+}
+
+// Delivered reports whether the message sent by `from` in round `round`
+// (sent at time round−1, received at time round) reaches `to`. Processes
+// always "hear" themselves while alive. Delivery to a crashed receiver is
+// reported as the pattern dictates; receivers that are dead simply never
+// look at their inbox.
+func (f *FailurePattern) Delivered(from, to Proc, round int) bool {
+	if round < 1 {
+		return false
+	}
+	c, faulty := f.Crashes[from]
+	if from == to {
+		// Self-communication persists while the process is alive at
+		// sending time (time round−1).
+		return !faulty || c.Round > round-1
+	}
+	if !faulty || round < c.Round {
+		return true
+	}
+	if round == c.Round {
+		return c.Delivered.Contains(to)
+	}
+	return false
+}
+
+// MaxCrashRound returns the latest round in which any process crashes,
+// or 0 for a failure-free pattern.
+func (f *FailurePattern) MaxCrashRound() int {
+	max := 0
+	for _, c := range f.Crashes {
+		if c.Round > max {
+			max = c.Round
+		}
+	}
+	return max
+}
+
+// Validate checks structural sanity: process indices in range, crash
+// rounds ≥ 1, at most t crashes if t ≥ 0 (pass t < 0 to skip the bound).
+func (f *FailurePattern) Validate(t int) error {
+	if f.N < 2 {
+		return fmt.Errorf("model: need n ≥ 2 processes, have %d", f.N)
+	}
+	if t >= 0 && len(f.Crashes) > t {
+		return fmt.Errorf("model: %d crashes exceed bound t=%d", len(f.Crashes), t)
+	}
+	for p, c := range f.Crashes {
+		if p < 0 || p >= f.N {
+			return fmt.Errorf("model: crash of out-of-range process %d", p)
+		}
+		if c.Round < 1 {
+			return fmt.Errorf("model: process %d crashes in round %d < 1", p, c.Round)
+		}
+		bad := -1
+		c.Delivered.ForEach(func(q int) bool {
+			if q >= f.N {
+				bad = q
+				return false
+			}
+			return true
+		})
+		if bad >= 0 {
+			return fmt.Errorf("model: process %d delivers to out-of-range process %d", p, bad)
+		}
+	}
+	return nil
+}
+
+// String renders the pattern compactly, e.g. "crash(1@r1→{2}, 3@r2→{})".
+func (f *FailurePattern) String() string {
+	if len(f.Crashes) == 0 {
+		return "crash()"
+	}
+	procs := make([]int, 0, len(f.Crashes))
+	for p := range f.Crashes {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	s := "crash("
+	for i, p := range procs {
+		if i > 0 {
+			s += ", "
+		}
+		c := f.Crashes[p]
+		s += fmt.Sprintf("%d@r%d→%s", p, c.Round, c.Delivered.String())
+	}
+	return s + ")"
+}
+
+// Adversary couples an input vector with a failure pattern: the pair
+// α = (v⃗, F) of the paper. It fully determines a run of any deterministic
+// protocol.
+type Adversary struct {
+	Inputs  []Value
+	Pattern *FailurePattern
+}
+
+// NewAdversary builds an adversary over len(inputs) processes.
+func NewAdversary(inputs []Value, pattern *FailurePattern) *Adversary {
+	return &Adversary{Inputs: append([]Value(nil), inputs...), Pattern: pattern}
+}
+
+// N returns the number of processes.
+func (a *Adversary) N() int { return len(a.Inputs) }
+
+// Clone returns a deep copy.
+func (a *Adversary) Clone() *Adversary {
+	return &Adversary{
+		Inputs:  append([]Value(nil), a.Inputs...),
+		Pattern: a.Pattern.Clone(),
+	}
+}
+
+// Validate checks the adversary against a value domain {0..maxValue} and
+// crash bound t (t < 0 skips the bound, maxValue < 0 skips the domain).
+func (a *Adversary) Validate(t, maxValue int) error {
+	if a.Pattern == nil {
+		return fmt.Errorf("model: adversary has nil failure pattern")
+	}
+	if a.Pattern.N != a.N() {
+		return fmt.Errorf("model: pattern over %d processes but %d inputs", a.Pattern.N, a.N())
+	}
+	if err := a.Pattern.Validate(t); err != nil {
+		return err
+	}
+	if maxValue >= 0 {
+		for p, v := range a.Inputs {
+			if v < 0 || v > maxValue {
+				return fmt.Errorf("model: input %d of process %d outside {0..%d}", v, p, maxValue)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the adversary.
+func (a *Adversary) String() string {
+	return fmt.Sprintf("adv(inputs=%v, %s)", a.Inputs, a.Pattern)
+}

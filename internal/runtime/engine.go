@@ -1,0 +1,189 @@
+// Package runtime executes the compact wire protocol on a real
+// message-passing engine: one goroutine per process, channels as links, a
+// router applying the failure pattern, and lock-step round barriers —
+// the synchronous model of §2.1 made concrete. Results are bit-for-bit
+// cross-checked against the deterministic oracle simulator by the tests;
+// the engine exists to demonstrate that the protocols run unchanged on
+// actual concurrent message passing, not just on the oracle.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"setconsensus/internal/core"
+	"setconsensus/internal/model"
+	"setconsensus/internal/wire"
+)
+
+// Inbound is one received message.
+type Inbound struct {
+	From    model.Proc
+	Payload []byte
+}
+
+// Decision mirrors sim.Decision.
+type Decision struct {
+	Value model.Value
+	Time  int
+}
+
+// Result collects the engine's decisions.
+type Result struct {
+	Decisions []*Decision
+}
+
+// process is one goroutine's protocol instance: the compact wire state
+// plus the chosen decision rule.
+type process struct {
+	id    model.Proc
+	rule  wire.Rule
+	p     core.Params
+	state *wire.State
+
+	prevLow  bool
+	prevHC   int
+	prevMin  model.Value
+	prevVals []model.Value
+
+	decided  bool
+	decision *Decision
+}
+
+func (pr *process) snapshot() {
+	pr.prevLow = pr.state.Low(pr.p.K)
+	pr.prevHC = pr.state.HiddenCapacity()
+	pr.prevMin = pr.state.Min()
+	pr.prevVals = pr.state.Vals()
+}
+
+func (pr *process) maybeDecide(m int) {
+	if pr.decided {
+		return
+	}
+	st := pr.state
+	switch pr.rule {
+	case wire.RuleOptmin:
+		if st.Low(pr.p.K) || st.HiddenCapacity() < pr.p.K {
+			pr.decision = &Decision{Value: st.Min(), Time: m}
+			pr.decided = true
+		}
+	case wire.RuleUPmin:
+		if st.Low(pr.p.K) || st.HiddenCapacity() < pr.p.K {
+			if min := st.Min(); st.Persists(min, pr.prevVals, pr.p.T) {
+				pr.decision = &Decision{Value: min, Time: m}
+				pr.decided = true
+				return
+			}
+		}
+		if m > 0 && (pr.prevLow || pr.prevHC < pr.p.K) {
+			pr.decision = &Decision{Value: pr.prevMin, Time: m}
+			pr.decided = true
+			return
+		}
+		if m == pr.p.T/pr.p.K+1 {
+			pr.decision = &Decision{Value: st.Min(), Time: m}
+			pr.decided = true
+		}
+	}
+}
+
+// Run executes the protocol on goroutines against the adversary. The
+// router goroutine enforces the failure pattern; each process goroutine
+// computes rounds concurrently, synchronized by channel barriers.
+func Run(rule wire.Rule, p core.Params, adv *model.Adversary) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if adv.N() != p.N {
+		return nil, fmt.Errorf("runtime: adversary over %d processes, params say %d", adv.N(), p.N)
+	}
+	n := adv.N()
+	horizon := p.T/p.K + 1
+
+	type outMsg struct {
+		from    model.Proc
+		payload []byte
+	}
+	outCh := make(chan outMsg, n)       // round outboxes to the router
+	inCh := make([]chan []Inbound, n)   // per-process round deliveries
+	barrier := make([]chan struct{}, n) // per-process "round done" release
+	procs := make([]*process, n)
+	for i := 0; i < n; i++ {
+		inCh[i] = make(chan []Inbound, 1)
+		barrier[i] = make(chan struct{})
+		procs[i] = &process{id: i, rule: rule, p: p, state: wire.NewState(n, i, adv.Inputs[i])}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(pr *process) {
+			defer wg.Done()
+			// Time 0: local decision attempt, no messages yet.
+			pr.maybeDecide(0)
+			for m := 1; m <= horizon; m++ {
+				if !adv.Pattern.Active(pr.id, m-1) {
+					// Dead at send time: participate in barriers only.
+					outCh <- outMsg{from: pr.id, payload: nil}
+					<-inCh[pr.id]
+					<-barrier[pr.id]
+					continue
+				}
+				pr.snapshot()
+				outCh <- outMsg{from: pr.id, payload: wire.Encode(pr.state.Outbox())}
+				msgs := <-inCh[pr.id]
+				if adv.Pattern.Active(pr.id, m) {
+					inbound := make([]wire.Message, 0, len(msgs))
+					for _, im := range msgs {
+						facts, err := wire.Decode(im.Payload)
+						if err != nil {
+							panic(fmt.Sprintf("runtime: corrupt payload from %d: %v", im.From, err))
+						}
+						inbound = append(inbound, wire.Message{From: im.From, Round: m, Facts: facts})
+					}
+					pr.state.Deliver(m, inbound)
+					pr.maybeDecide(m)
+				}
+				<-barrier[pr.id]
+			}
+		}(procs[i])
+	}
+
+	// Router: per round, gather every outbox, apply the pattern, deliver,
+	// release the barrier.
+	routerDone := make(chan struct{})
+	go func() {
+		defer close(routerDone)
+		for m := 1; m <= horizon; m++ {
+			payloads := make([][]byte, n)
+			for c := 0; c < n; c++ {
+				om := <-outCh
+				payloads[om.from] = om.payload
+			}
+			for j := 0; j < n; j++ {
+				var msgs []Inbound
+				for i := 0; i < n; i++ {
+					if i == j || payloads[i] == nil {
+						continue
+					}
+					if adv.Pattern.Delivered(i, j, m) && adv.Pattern.Active(j, m) {
+						msgs = append(msgs, Inbound{From: i, Payload: payloads[i]})
+					}
+				}
+				inCh[j] <- msgs
+			}
+			for j := 0; j < n; j++ {
+				barrier[j] <- struct{}{}
+			}
+		}
+	}()
+
+	wg.Wait()
+	<-routerDone
+	res := &Result{Decisions: make([]*Decision, n)}
+	for i, pr := range procs {
+		res.Decisions[i] = pr.decision
+	}
+	return res, nil
+}

@@ -1,0 +1,162 @@
+// Package sim runs decision protocols against adversaries in the
+// synchronous crash-failure model and records every decision.
+//
+// Because every protocol in this repository is a full-information protocol
+// (§2.1 of the paper), a protocol is a pure decision rule over the
+// knowledge graph: the simulator computes the graph once and consults the
+// rule at every node ⟨i,m⟩ with i active and undecided. This "oracle"
+// simulator is deterministic and is the reference semantics; the
+// goroutine-and-channels engine in internal/runtime is cross-checked
+// against it.
+package sim
+
+import (
+	"fmt"
+
+	"setconsensus/internal/bitset"
+	"setconsensus/internal/knowledge"
+	"setconsensus/internal/model"
+)
+
+// Protocol is a deterministic full-information decision protocol.
+type Protocol interface {
+	// Name identifies the protocol in reports, e.g. "Optmin[2]".
+	Name() string
+	// Decide is consulted for each active, still-undecided process i at
+	// each time m in increasing order. Returning ok=true decides value v
+	// at time m. The rule may only use information visible in ⟨i,m⟩'s
+	// view; that discipline is enforced by the indistinguishability tests
+	// in internal/unbeat, not by this interface.
+	Decide(g *knowledge.Graph, i model.Proc, m int) (v model.Value, ok bool)
+	// WorstCaseDecisionTime bounds the time by which every correct
+	// process has decided, in every run of the protocol's context; the
+	// simulator uses it as the horizon.
+	WorstCaseDecisionTime() int
+}
+
+// Decision records one process's irrevocable decision.
+type Decision struct {
+	Value model.Value
+	Time  int
+}
+
+// Result is the outcome of running a protocol against an adversary.
+type Result struct {
+	ProtocolName string
+	Adv          *model.Adversary
+	Graph        *knowledge.Graph
+	// Decisions[i] is nil if process i never decided (it crashed first,
+	// or the protocol failed to decide within the horizon).
+	Decisions []*Decision
+}
+
+// Run executes p against adv up to p.WorstCaseDecisionTime() and returns
+// all decisions. It never errors: absent decisions are visible in the
+// Result and are judged by internal/check.
+func Run(p Protocol, adv *model.Adversary) *Result {
+	return RunToHorizon(p, adv, p.WorstCaseDecisionTime())
+}
+
+// RunToHorizon is Run with an explicit horizon (used by experiments that
+// deliberately cut runs short, e.g. to examine prefixes).
+func RunToHorizon(p Protocol, adv *model.Adversary, horizon int) *Result {
+	return RunWithGraph(p, knowledge.New(adv, horizon))
+}
+
+// RunWithGraph runs p over an already-computed knowledge graph, to its
+// full horizon. Exhaustive sweeps that run many protocols against the
+// same adversary share one graph this way.
+func RunWithGraph(p Protocol, g *knowledge.Graph) *Result {
+	adv := g.Adv
+	horizon := g.Horizon
+	res := &Result{ProtocolName: p.Name(), Adv: adv, Graph: g, Decisions: make([]*Decision, adv.N())}
+	for m := 0; m <= horizon; m++ {
+		for i := 0; i < adv.N(); i++ {
+			if res.Decisions[i] != nil || !adv.Pattern.Active(i, m) {
+				continue
+			}
+			if v, ok := p.Decide(g, i, m); ok {
+				res.Decisions[i] = &Decision{Value: v, Time: m}
+			}
+		}
+	}
+	return res
+}
+
+// DecisionTime returns the time at which i decided, or −1.
+func (r *Result) DecisionTime(i model.Proc) int {
+	if r.Decisions[i] == nil {
+		return -1
+	}
+	return r.Decisions[i].Time
+}
+
+// DecidedValues returns the set of values decided by the given processes
+// (e.g. the correct set for nonuniform agreement, everyone for uniform).
+func (r *Result) DecidedValues(procs *bitset.Set) *bitset.Set {
+	out := &bitset.Set{}
+	procs.ForEach(func(i int) bool {
+		if d := r.Decisions[i]; d != nil {
+			out.Add(d.Value)
+		}
+		return true
+	})
+	return out
+}
+
+// AllDecidedValues returns the set of values decided by any process.
+func (r *Result) AllDecidedValues() *bitset.Set {
+	return r.DecidedValues(bitset.Full(r.Adv.N()))
+}
+
+// MaxCorrectDecisionTime returns the latest decision time among correct
+// processes, or −1 if some correct process never decided.
+func (r *Result) MaxCorrectDecisionTime() int {
+	max := 0
+	for i := 0; i < r.Adv.N(); i++ {
+		if !r.Adv.Pattern.Correct(i) {
+			continue
+		}
+		d := r.Decisions[i]
+		if d == nil {
+			return -1
+		}
+		if d.Time > max {
+			max = d.Time
+		}
+	}
+	return max
+}
+
+// String renders the decision table compactly.
+func (r *Result) String() string {
+	s := r.ProtocolName + ":"
+	for i, d := range r.Decisions {
+		if d == nil {
+			s += fmt.Sprintf(" %d:⊥", i)
+		} else {
+			s += fmt.Sprintf(" %d:%d@%d", i, d.Value, d.Time)
+		}
+	}
+	return s
+}
+
+// Func adapts a plain function (plus metadata) into a Protocol. It is the
+// building block for the protocol-space search in internal/unbeat and for
+// ablations.
+type Func struct {
+	ProtoName string
+	Horizon   int
+	Rule      func(g *knowledge.Graph, i model.Proc, m int) (model.Value, bool)
+}
+
+// Name implements Protocol.
+func (f *Func) Name() string { return f.ProtoName }
+
+// WorstCaseDecisionTime implements Protocol.
+func (f *Func) WorstCaseDecisionTime() int { return f.Horizon }
+
+// Decide implements Protocol.
+func (f *Func) Decide(g *knowledge.Graph, i model.Proc, m int) (model.Value, bool) {
+	return f.Rule(g, i, m)
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"setconsensus/internal/bitset"
+	"setconsensus/internal/knowledge"
+	"setconsensus/internal/model"
+)
+
+// minAtTime decides the current minimum at a fixed time.
+func minAtTime(name string, when int) *Func {
+	return &Func{
+		ProtoName: name,
+		Horizon:   when,
+		Rule: func(g *knowledge.Graph, i model.Proc, m int) (model.Value, bool) {
+			if m == when {
+				return g.Min(i, m), true
+			}
+			return 0, false
+		},
+	}
+}
+
+func TestRunRecordsDecisions(t *testing.T) {
+	adv := model.NewBuilder(3, 1).Input(0, 0).MustBuild()
+	res := Run(minAtTime("fixed@1", 1), adv)
+	for i := 0; i < 3; i++ {
+		d := res.Decisions[i]
+		if d == nil || d.Time != 1 {
+			t.Fatalf("process %d: %+v", i, d)
+		}
+		if d.Value != 0 {
+			t.Errorf("process %d decided %d, want 0 (flooded min)", i, d.Value)
+		}
+	}
+	if res.ProtocolName != "fixed@1" {
+		t.Errorf("name = %q", res.ProtocolName)
+	}
+}
+
+func TestCrashedProcessesDoNotDecide(t *testing.T) {
+	adv := model.NewBuilder(3, 1).CrashSilent(2, 1).MustBuild()
+	res := Run(minAtTime("fixed@1", 1), adv)
+	if res.Decisions[2] != nil {
+		t.Error("process dead at time 1 must not decide at time 1")
+	}
+	if res.DecisionTime(2) != -1 {
+		t.Error("DecisionTime of undecided must be −1")
+	}
+}
+
+func TestFaultyDecisionBeforeCrashIsRecorded(t *testing.T) {
+	// Crash in round 2 ⟹ active at times 0 and 1 ⟹ a time-1 decision
+	// by the faulty process counts (it matters for uniform agreement).
+	adv := model.NewBuilder(3, 1).CrashSilent(2, 2).MustBuild()
+	res := Run(minAtTime("fixed@1", 1), adv)
+	if d := res.Decisions[2]; d == nil || d.Time != 1 {
+		t.Errorf("faulty-but-alive process decision: %+v", d)
+	}
+}
+
+func TestDecisionIsIrrevocable(t *testing.T) {
+	calls := map[model.Proc]int{}
+	p := &Func{
+		ProtoName: "count-calls",
+		Horizon:   3,
+		Rule: func(g *knowledge.Graph, i model.Proc, m int) (model.Value, bool) {
+			calls[i]++
+			return g.Min(i, m), m >= 1
+		},
+	}
+	adv := model.NewBuilder(2, 0).MustBuild()
+	Run(p, adv)
+	for i, c := range calls {
+		if c != 2 { // consulted at m=0 (declines) and m=1 (decides), then never again
+			t.Errorf("process %d consulted %d times, want 2", i, c)
+		}
+	}
+}
+
+func TestDecidedValuesAndMaxTime(t *testing.T) {
+	adv := model.NewBuilder(3, 2).Inputs(0, 1, 2).CrashSilent(2, 2).MustBuild()
+	p := &Func{
+		ProtoName: "own-value",
+		Horizon:   2,
+		Rule: func(g *knowledge.Graph, i model.Proc, m int) (model.Value, bool) {
+			// Process 1 decides late, others immediately.
+			if i == 1 {
+				return g.Adv.Inputs[i], m == 2
+			}
+			return g.Adv.Inputs[i], m == 0
+		},
+	}
+	res := Run(p, adv)
+	correct := adv.Pattern.CorrectProcs()
+	if got := res.DecidedValues(correct).Elems(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("correct decided values = %v", got)
+	}
+	if got := res.AllDecidedValues().Elems(); len(got) != 3 {
+		t.Errorf("all decided values = %v", got)
+	}
+	if got := res.MaxCorrectDecisionTime(); got != 2 {
+		t.Errorf("MaxCorrectDecisionTime = %d", got)
+	}
+}
+
+func TestMaxCorrectDecisionTimeUndecided(t *testing.T) {
+	adv := model.NewBuilder(2, 0).MustBuild()
+	never := &Func{ProtoName: "never", Horizon: 2,
+		Rule: func(*knowledge.Graph, model.Proc, int) (model.Value, bool) { return 0, false }}
+	res := Run(never, adv)
+	if got := res.MaxCorrectDecisionTime(); got != -1 {
+		t.Errorf("undecided correct ⟹ −1, got %d", got)
+	}
+}
+
+func TestRunWithGraphSharing(t *testing.T) {
+	adv := model.NewBuilder(3, 1).MustBuild()
+	g := knowledge.New(adv, 2)
+	r1 := RunWithGraph(minAtTime("a", 1), g)
+	r2 := RunWithGraph(minAtTime("b", 2), g)
+	if r1.Graph != g || r2.Graph != g {
+		t.Error("results must share the provided graph")
+	}
+	if r1.DecisionTime(0) != 1 || r2.DecisionTime(0) != 2 {
+		t.Error("protocols over shared graph misbehaved")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	adv := model.NewBuilder(2, 1).CrashSilent(1, 1).MustBuild()
+	res := Run(minAtTime("p", 1), adv)
+	s := res.String()
+	if !strings.Contains(s, "0:1@1") || !strings.Contains(s, "1:⊥") {
+		t.Errorf("String = %q", s)
+	}
+	_ = bitset.New(0) // keep import for DecidedValues use above
+}

@@ -1,0 +1,226 @@
+// Package topology implements the combinatorial-topology substrate of the
+// paper's second unbeatability proof (Appendix B.1): abstract simplicial
+// complexes, joins and stars, the paper's subdivision Div σ and the
+// barycentric subdivision, Sperner colorings and Sperner's lemma counting,
+// GF(2) simplicial homology for connectivity checks, and protocol
+// complexes built from enumerated runs (for Proposition 2).
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Complex is a finite abstract simplicial complex over integer vertices.
+// It stores every simplex (closed under faces). The zero value is an
+// empty complex ready to use.
+type Complex struct {
+	simplices map[string][]int // canonical key → sorted vertex slice
+	dim       int
+}
+
+// NewComplex returns an empty complex.
+func NewComplex() *Complex {
+	return &Complex{simplices: map[string][]int{}, dim: -1}
+}
+
+func key(simplex []int) string {
+	var b strings.Builder
+	for i, v := range simplex {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// normalize sorts and deduplicates a vertex list.
+func normalize(simplex []int) []int {
+	s := append([]int(nil), simplex...)
+	sort.Ints(s)
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Add inserts a simplex and all of its faces.
+func (c *Complex) Add(simplex ...int) {
+	s := normalize(simplex)
+	if len(s) == 0 {
+		return
+	}
+	c.addClosed(s)
+}
+
+func (c *Complex) addClosed(s []int) {
+	k := key(s)
+	if _, ok := c.simplices[k]; ok {
+		return
+	}
+	c.simplices[k] = s
+	if len(s)-1 > c.dim {
+		c.dim = len(s) - 1
+	}
+	if len(s) == 1 {
+		return
+	}
+	face := make([]int, len(s)-1)
+	for drop := range s {
+		copy(face, s[:drop])
+		copy(face[drop:], s[drop+1:])
+		c.addClosed(append([]int(nil), face...))
+	}
+}
+
+// AddComplex inserts every simplex of o.
+func (c *Complex) AddComplex(o *Complex) {
+	for _, s := range o.simplices {
+		c.addClosed(append([]int(nil), s...))
+	}
+}
+
+// Has reports whether the given simplex is present.
+func (c *Complex) Has(simplex ...int) bool {
+	_, ok := c.simplices[key(normalize(simplex))]
+	return ok
+}
+
+// Dim returns the dimension of the complex (−1 if empty).
+func (c *Complex) Dim() int { return c.dim }
+
+// Size returns the number of simplices (all dimensions).
+func (c *Complex) Size() int { return len(c.simplices) }
+
+// Simplices returns all simplices of the given dimension, in a
+// deterministic order.
+func (c *Complex) Simplices(dim int) [][]int {
+	var out [][]int
+	for _, s := range c.simplices {
+		if len(s)-1 == dim {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
+	return out
+}
+
+// Vertices returns the vertex set in increasing order.
+func (c *Complex) Vertices() []int {
+	var out []int
+	for _, s := range c.simplices {
+		if len(s) == 1 {
+			out = append(out, s[0])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Facets returns the inclusion-maximal simplices.
+func (c *Complex) Facets() [][]int {
+	var out [][]int
+	for _, s := range c.simplices {
+		maximal := true
+		for _, t := range c.simplices {
+			if len(t) > len(s) && contains(t, s) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
+	return out
+}
+
+// contains reports whether sorted slice t contains sorted slice s.
+func contains(t, s []int) bool {
+	i := 0
+	for _, v := range s {
+		for i < len(t) && t[i] < v {
+			i++
+		}
+		if i == len(t) || t[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPure reports whether all facets share the complex's dimension.
+func (c *Complex) IsPure() bool {
+	for _, f := range c.Facets() {
+		if len(f)-1 != c.dim {
+			return false
+		}
+	}
+	return true
+}
+
+// Star returns the star complex St(v, c): every simplex containing v,
+// together with all faces (Appendix B.1.1).
+func (c *Complex) Star(v int) *Complex {
+	st := NewComplex()
+	for _, s := range c.simplices {
+		if sortedContains(s, v) {
+			st.addClosed(append([]int(nil), s...))
+		}
+	}
+	return st
+}
+
+func sortedContains(s []int, v int) bool {
+	i := sort.SearchInts(s, v)
+	return i < len(s) && s[i] == v
+}
+
+// Join returns c ∗ o for vertex-disjoint complexes: all unions σ ∪ τ with
+// σ ∈ c (or empty) and τ ∈ o (or empty).
+func (c *Complex) Join(o *Complex) (*Complex, error) {
+	for _, v := range c.Vertices() {
+		if o.Has(v) {
+			return nil, fmt.Errorf("topology: join operands share vertex %d", v)
+		}
+	}
+	out := NewComplex()
+	out.AddComplex(c)
+	out.AddComplex(o)
+	for _, s := range c.simplices {
+		for _, t := range o.simplices {
+			out.Add(append(append([]int(nil), s...), t...)...)
+		}
+	}
+	return out, nil
+}
+
+// Boundary returns Bd σ for a single simplex: the complex of its proper
+// faces.
+func Boundary(simplex []int) *Complex {
+	s := normalize(simplex)
+	c := NewComplex()
+	if len(s) <= 1 {
+		return c
+	}
+	for drop := range s {
+		face := make([]int, 0, len(s)-1)
+		face = append(face, s[:drop]...)
+		face = append(face, s[drop+1:]...)
+		c.Add(face...)
+	}
+	return c
+}
+
+// FullSimplex returns the complex of one simplex and all its faces.
+func FullSimplex(simplex []int) *Complex {
+	c := NewComplex()
+	c.Add(simplex...)
+	return c
+}

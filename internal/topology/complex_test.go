@@ -1,0 +1,172 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestAddClosesUnderFaces(t *testing.T) {
+	c := NewComplex()
+	c.Add(2, 0, 1) // unsorted on purpose
+	if c.Size() != 7 {
+		t.Fatalf("triangle closure has %d simplices, want 7", c.Size())
+	}
+	for _, face := range [][]int{{0}, {1}, {2}, {0, 1}, {0, 2}, {1, 2}, {0, 1, 2}} {
+		if !c.Has(face...) {
+			t.Errorf("missing face %v", face)
+		}
+	}
+	if c.Dim() != 2 {
+		t.Errorf("dim = %d", c.Dim())
+	}
+}
+
+func TestAddDeduplicates(t *testing.T) {
+	c := NewComplex()
+	c.Add(0, 1)
+	c.Add(1, 0)
+	c.Add(0, 0, 1)
+	if c.Size() != 3 {
+		t.Fatalf("size = %d, want 3", c.Size())
+	}
+}
+
+func TestVerticesAndSimplices(t *testing.T) {
+	c := NewComplex()
+	c.Add(0, 1, 2)
+	c.Add(2, 3)
+	if got := c.Vertices(); len(got) != 4 {
+		t.Errorf("vertices = %v", got)
+	}
+	if got := c.Simplices(1); len(got) != 4 {
+		t.Errorf("edges = %v", got)
+	}
+	if got := c.Simplices(5); got != nil {
+		t.Errorf("no 5-simplices expected, got %v", got)
+	}
+}
+
+func TestFacets(t *testing.T) {
+	c := NewComplex()
+	c.Add(0, 1, 2)
+	c.Add(2, 3)
+	f := c.Facets()
+	if len(f) != 2 {
+		t.Fatalf("facets = %v", f)
+	}
+	if c.IsPure() {
+		t.Error("triangle+dangling edge is not pure")
+	}
+	pure := NewComplex()
+	pure.Add(0, 1)
+	pure.Add(1, 2)
+	if !pure.IsPure() {
+		t.Error("path graph is pure")
+	}
+}
+
+func TestStar(t *testing.T) {
+	c := NewComplex()
+	c.Add(0, 1, 2)
+	c.Add(2, 3)
+	c.Add(3, 4)
+	st := c.Star(2)
+	if !st.Has(0, 1, 2) || !st.Has(2, 3) || !st.Has(0, 1) {
+		t.Error("star must contain cofaces of 2 and their faces")
+	}
+	if st.Has(3, 4) {
+		t.Error("star must not contain simplices avoiding 2's cofaces")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	a := NewComplex()
+	a.Add(0)
+	b := NewComplex()
+	b.Add(1, 2)
+	j, err := a.Join(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Has(0, 1, 2) {
+		t.Error("join must contain the full triangle")
+	}
+	if _, err := a.Join(a); err == nil {
+		t.Error("self-join must be rejected (shared vertices)")
+	}
+}
+
+func TestBoundary(t *testing.T) {
+	bd := Boundary([]int{0, 1, 2})
+	if bd.Has(0, 1, 2) {
+		t.Error("boundary must not contain the simplex itself")
+	}
+	for _, e := range [][]int{{0, 1}, {0, 2}, {1, 2}} {
+		if !bd.Has(e...) {
+			t.Errorf("boundary missing %v", e)
+		}
+	}
+	if Boundary([]int{7}).Size() != 0 {
+		t.Error("boundary of a vertex is empty")
+	}
+}
+
+func TestBettiSphereAndDisk(t *testing.T) {
+	// Full triangle (disk): β = (1, 0, 0); boundary circle: β = (1, 1).
+	disk := FullSimplex([]int{0, 1, 2})
+	if got := disk.BettiNumbers(2); got[0] != 1 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("disk Betti = %v", got)
+	}
+	circle := Boundary([]int{0, 1, 2})
+	if got := circle.BettiNumbers(1); got[0] != 1 || got[1] != 1 {
+		t.Errorf("circle Betti = %v", got)
+	}
+	// Boundary of a tetrahedron: the 2-sphere, β = (1, 0, 1).
+	sphere := Boundary([]int{0, 1, 2, 3})
+	if got := sphere.BettiNumbers(2); got[0] != 1 || got[1] != 0 || got[2] != 1 {
+		t.Errorf("sphere Betti = %v", got)
+	}
+}
+
+func TestBettiDisconnected(t *testing.T) {
+	c := NewComplex()
+	c.Add(0, 1)
+	c.Add(2, 3)
+	if got := c.BettiNumbers(1); got[0] != 2 || got[1] != 0 {
+		t.Errorf("two segments Betti = %v", got)
+	}
+	if cc := c.ConnectedComponents(); cc != 2 {
+		t.Errorf("components = %d", cc)
+	}
+	if c.IsHomologicallyQConnected(0) {
+		t.Error("disconnected complex is not 0-connected")
+	}
+}
+
+func TestConnectivityChecks(t *testing.T) {
+	disk := FullSimplex([]int{0, 1, 2})
+	if !disk.IsHomologicallyQConnected(1) {
+		t.Error("disk is 1-connected")
+	}
+	circle := Boundary([]int{0, 1, 2})
+	if !circle.IsHomologicallyQConnected(0) {
+		t.Error("circle is 0-connected")
+	}
+	if circle.IsHomologicallyQConnected(1) {
+		t.Error("circle is not 1-connected (β̃₁ = 1)")
+	}
+	if NewComplex().IsHomologicallyQConnected(0) {
+		t.Error("empty complex is not connected")
+	}
+}
+
+func TestEulerCharacteristic(t *testing.T) {
+	if chi := FullSimplex([]int{0, 1, 2}).EulerCharacteristic(); chi != 1 {
+		t.Errorf("disk χ = %d, want 1", chi)
+	}
+	if chi := Boundary([]int{0, 1, 2, 3}).EulerCharacteristic(); chi != 2 {
+		t.Errorf("sphere χ = %d, want 2", chi)
+	}
+	if chi := Boundary([]int{0, 1, 2}).EulerCharacteristic(); chi != 0 {
+		t.Errorf("circle χ = %d, want 0", chi)
+	}
+}

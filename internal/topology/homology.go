@@ -1,0 +1,172 @@
+package topology
+
+import "setconsensus/internal/bitset"
+
+// GF(2) simplicial homology. Over GF(2) the boundary operator needs no
+// signs, and Betti numbers follow from boundary-matrix ranks:
+//
+//	β_p = dim ker ∂_p − rank ∂_{p+1}
+//	    = (#p-simplices − rank ∂_p) − rank ∂_{p+1}.
+//
+// Vanishing REDUCED homology in dimensions 0..q is the standard
+// computational proxy for q-connectivity (it is implied by it); see
+// DESIGN.md §5 for the substitution note on Proposition 2.
+
+// BettiNumbers returns the GF(2) Betti numbers β_0..β_maxDim of the
+// complex. An empty complex yields all zeros.
+func (c *Complex) BettiNumbers(maxDim int) []int {
+	out := make([]int, maxDim+1)
+	if c.Size() == 0 {
+		return out
+	}
+	// Index simplices per dimension.
+	index := make([]map[string]int, maxDim+2)
+	counts := make([]int, maxDim+2)
+	for d := 0; d <= maxDim+1; d++ {
+		index[d] = map[string]int{}
+		for i, s := range c.Simplices(d) {
+			index[d][key(s)] = i
+		}
+		counts[d] = len(index[d])
+	}
+	// rank[d] = rank of ∂_d (maps d-simplices to (d−1)-simplices);
+	// ∂_0 = 0.
+	rank := make([]int, maxDim+2)
+	for d := 1; d <= maxDim+1; d++ {
+		if counts[d] == 0 || counts[d-1] == 0 {
+			continue
+		}
+		rows := make([]*bitset.Set, 0, counts[d])
+		for _, s := range c.Simplices(d) {
+			row := bitset.New(counts[d-1])
+			face := make([]int, len(s)-1)
+			for drop := range s {
+				copy(face, s[:drop])
+				copy(face[drop:], s[drop+1:])
+				row.Add(index[d-1][key(face)])
+			}
+			rows = append(rows, row)
+		}
+		rank[d] = gf2Rank(rows, counts[d-1])
+	}
+	for p := 0; p <= maxDim; p++ {
+		if counts[p] == 0 {
+			out[p] = 0
+			continue
+		}
+		out[p] = counts[p] - rank[p] - rank[p+1]
+	}
+	return out
+}
+
+// gf2Rank computes the rank of a GF(2) matrix given as bitset rows over
+// `cols` columns, by Gaussian elimination.
+func gf2Rank(rows []*bitset.Set, cols int) int {
+	rank := 0
+	for col := 0; col < cols && rank < len(rows); col++ {
+		pivot := -1
+		for r := rank; r < len(rows); r++ {
+			if rows[r].Contains(col) {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for r := 0; r < len(rows); r++ {
+			if r != rank && rows[r].Contains(col) {
+				xorInto(rows[r], rows[rank])
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// xorInto computes dst ^= src over the shared column universe.
+func xorInto(dst, src *bitset.Set) {
+	// a ^ b = (a ∪ b) ∖ (a ∩ b)
+	inter := bitset.Intersect(dst, src)
+	dst.UnionWith(src)
+	dst.SubtractWith(inter)
+}
+
+// ReducedBetti returns the reduced GF(2) Betti numbers β̃_0..β̃_maxDim:
+// β̃_0 = β_0 − 1 (for nonempty complexes), β̃_p = β_p otherwise.
+func (c *Complex) ReducedBetti(maxDim int) []int {
+	b := c.BettiNumbers(maxDim)
+	if c.Size() > 0 && maxDim >= 0 {
+		b[0]--
+	}
+	return b
+}
+
+// IsHomologicallyQConnected reports whether all reduced Betti numbers in
+// dimensions 0..q vanish — the computational proxy for q-connectivity.
+// q = −1 is vacuous (nonempty complex).
+func (c *Complex) IsHomologicallyQConnected(q int) bool {
+	if c.Size() == 0 {
+		return false
+	}
+	if q < 0 {
+		return true
+	}
+	for _, b := range c.ReducedBetti(q) {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ConnectedComponents counts connected components of the 1-skeleton via
+// union-find — exact 0-connectivity, cross-checking β_0.
+func (c *Complex) ConnectedComponents() int {
+	verts := c.Vertices()
+	if len(verts) == 0 {
+		return 0
+	}
+	idx := make(map[int]int, len(verts))
+	for i, v := range verts {
+		idx[v] = i
+	}
+	parent := make([]int, len(verts))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range c.Simplices(1) {
+		a, b := find(idx[e[0]]), find(idx[e[1]])
+		if a != b {
+			parent[a] = b
+		}
+	}
+	seen := map[int]bool{}
+	for i := range parent {
+		seen[find(i)] = true
+	}
+	return len(seen)
+}
+
+// EulerCharacteristic returns Σ (−1)^p · #p-simplices.
+func (c *Complex) EulerCharacteristic() int {
+	chi := 0
+	for d := 0; d <= c.dim; d++ {
+		n := len(c.Simplices(d))
+		if d%2 == 0 {
+			chi += n
+		} else {
+			chi -= n
+		}
+	}
+	return chi
+}

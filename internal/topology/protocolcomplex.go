@@ -1,0 +1,89 @@
+package topology
+
+import (
+	"fmt"
+
+	"setconsensus/internal/enum"
+	"setconsensus/internal/knowledge"
+	"setconsensus/internal/model"
+)
+
+// ProtocolComplex is the m-round protocol complex Pm of the
+// full-information protocol over an adversary space: one vertex per
+// distinct local state ⟨process, view⟩ at time m, one facet per run —
+// the global state restricted to its active processes.
+type ProtocolComplex struct {
+	Time    int
+	Complex *Complex
+
+	ids    map[string]int
+	labels []VertexLabel
+}
+
+// VertexLabel identifies a protocol-complex vertex.
+type VertexLabel struct {
+	Proc        model.Proc
+	Fingerprint string
+}
+
+// BuildProtocolComplex enumerates the space and assembles Pm. The
+// callback, when non-nil, receives each run's knowledge graph so callers
+// can collect per-node statistics (e.g. hidden capacities) in the same
+// pass.
+func BuildProtocolComplex(space enum.Space, m int, visit func(g *knowledge.Graph)) (*ProtocolComplex, error) {
+	pc := &ProtocolComplex{Time: m, Complex: NewComplex(), ids: map[string]int{}}
+	err := space.ForEach(func(adv *model.Adversary) bool {
+		g := knowledge.New(adv, m)
+		if visit != nil {
+			visit(g)
+		}
+		var facet []int
+		for i := 0; i < adv.N(); i++ {
+			if !adv.Pattern.Active(i, m) {
+				continue
+			}
+			facet = append(facet, pc.intern(i, g.Fingerprint(i, m)))
+		}
+		if len(facet) > 0 {
+			pc.Complex.Add(facet...)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pc, nil
+}
+
+// intern returns the vertex id for a (process, view) pair.
+func (pc *ProtocolComplex) intern(i model.Proc, fp string) int {
+	k := fmt.Sprintf("%d|%s", i, fp)
+	if id, ok := pc.ids[k]; ok {
+		return id
+	}
+	id := len(pc.labels)
+	pc.ids[k] = id
+	pc.labels = append(pc.labels, VertexLabel{Proc: i, Fingerprint: fp})
+	return id
+}
+
+// Vertex looks up the vertex id of ⟨i,m⟩'s local state in g, if that
+// state occurs in the complex.
+func (pc *ProtocolComplex) Vertex(g *knowledge.Graph, i model.Proc) (int, bool) {
+	id, ok := pc.ids[fmt.Sprintf("%d|%s", i, g.Fingerprint(i, pc.Time))]
+	return id, ok
+}
+
+// Label returns the label of a vertex id.
+func (pc *ProtocolComplex) Label(id int) VertexLabel { return pc.labels[id] }
+
+// NumVertices returns the number of distinct local states.
+func (pc *ProtocolComplex) NumVertices() int { return len(pc.labels) }
+
+// StarConnectivity extracts St(v, Pm) and reports whether it is
+// homologically (k−1)-connected (vanishing reduced GF(2) Betti numbers in
+// dimensions 0..k−1), the computational proxy used for Proposition 2.
+func (pc *ProtocolComplex) StarConnectivity(v, k int) (bool, *Complex) {
+	st := pc.Complex.Star(v)
+	return st.IsHomologicallyQConnected(k - 1), st
+}

@@ -1,0 +1,80 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sperner machinery (Lemma 4): a Sperner coloring of a subdivision maps
+// every vertex to a vertex of its carrier; Sperner's lemma guarantees an
+// odd number of fully colored top-dimensional simplices.
+
+// Coloring maps subdivision vertices to colors (vertices of σ).
+type Coloring map[int]int
+
+// IsSperner reports whether the coloring is a Sperner coloring of s:
+// every vertex colored, with a color from its carrier.
+func (s *Subdivision) IsSperner(c Coloring) error {
+	for _, v := range s.Complex.Vertices() {
+		col, ok := c[v]
+		if !ok {
+			return fmt.Errorf("topology: vertex %d uncolored", v)
+		}
+		if !sortedContains(s.Carrier[v], col) {
+			return fmt.Errorf("topology: vertex %d colored %d ∉ carrier %v", v, col, s.Carrier[v])
+		}
+	}
+	return nil
+}
+
+// FullyColored returns the top-dimensional simplices whose vertices carry
+// pairwise distinct colors.
+func (s *Subdivision) FullyColored(c Coloring) [][]int {
+	d := len(s.Base) - 1
+	var out [][]int
+	for _, simplex := range s.Complex.Simplices(d) {
+		seen := map[int]bool{}
+		full := true
+		for _, v := range simplex {
+			if seen[c[v]] {
+				full = false
+				break
+			}
+			seen[c[v]] = true
+		}
+		if full {
+			out = append(out, simplex)
+		}
+	}
+	return out
+}
+
+// SpernerCount verifies the coloring is Sperner and returns the number of
+// fully colored top simplices (odd, by Sperner's lemma — callers assert).
+func (s *Subdivision) SpernerCount(c Coloring) (int, error) {
+	if err := s.IsSperner(c); err != nil {
+		return 0, err
+	}
+	return len(s.FullyColored(c)), nil
+}
+
+// CanonicalColoring colors every vertex with the minimum of its carrier —
+// always a valid Sperner coloring.
+func (s *Subdivision) CanonicalColoring() Coloring {
+	c := Coloring{}
+	for _, v := range s.Complex.Vertices() {
+		c[v] = s.Carrier[v][0]
+	}
+	return c
+}
+
+// RandomColoring draws a uniform Sperner coloring (each vertex gets a
+// uniformly random element of its carrier), deterministic given rng.
+func (s *Subdivision) RandomColoring(rng *rand.Rand) Coloring {
+	c := Coloring{}
+	for _, v := range s.Complex.Vertices() {
+		car := s.Carrier[v]
+		c[v] = car[rng.Intn(len(car))]
+	}
+	return c
+}

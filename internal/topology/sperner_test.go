@@ -1,0 +1,173 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDivKStructure(t *testing.T) {
+	// k = 2 (Fig. 5): vertices 0,1,2 plus centers for {1,2} and {0,1,2};
+	// exactly 4 triangles.
+	s, err := DivK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckSubdivision(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Complex.Vertices()); got != 5 {
+		t.Errorf("vertices = %d, want 5", got)
+	}
+	if got := len(s.Complex.Simplices(2)); got != 4 {
+		t.Errorf("triangles = %d, want 4", got)
+	}
+	if _, ok := s.CenterOf(1, 2); !ok {
+		t.Error("edge {1,2} must have a center")
+	}
+	if _, ok := s.CenterOf(0, 2); ok {
+		t.Error("edge {0,2} = {0,k} must stay whole")
+	}
+	if _, ok := s.CenterOf(0, 1); ok {
+		t.Error("edge {0,1} (k ∉ σ′) must stay whole")
+	}
+	if _, ok := s.CenterOf(0, 1, 2); !ok {
+		t.Error("the full face must have a center")
+	}
+}
+
+func TestDivK1(t *testing.T) {
+	// k = 1: σ = {0,1}; the only faces containing k=1 are {1} and {0,1},
+	// and {0,1} = {0,k} stays whole — Div σ = σ itself.
+	s, err := DivK(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckSubdivision(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Complex.Simplices(1)); got != 1 {
+		t.Errorf("edges = %d, want 1", got)
+	}
+	if _, err := DivK(0); err == nil {
+		t.Error("k=0 must be rejected")
+	}
+}
+
+func TestDivK3Valid(t *testing.T) {
+	s, err := DivK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckSubdivision(); err != nil {
+		t.Fatal(err)
+	}
+	// A subdivision of the solid 3-simplex is contractible-like:
+	// β = (1,0,0,0).
+	if got := s.Complex.BettiNumbers(3); got[0] != 1 || got[1] != 0 || got[2] != 0 || got[3] != 0 {
+		t.Errorf("Div σ (k=3) Betti = %v", got)
+	}
+}
+
+func TestBarycentricStructure(t *testing.T) {
+	s := Barycentric([]int{0, 1, 2})
+	if err := s.CheckSubdivision(); err != nil {
+		t.Fatal(err)
+	}
+	// Barycentric subdivision of a triangle: 7 vertices, 6 triangles.
+	if got := len(s.Complex.Vertices()); got != 7 {
+		t.Errorf("vertices = %d, want 7", got)
+	}
+	if got := len(s.Complex.Simplices(2)); got != 6 {
+		t.Errorf("triangles = %d, want 6", got)
+	}
+	if got := s.Complex.BettiNumbers(2); got[0] != 1 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("Betti = %v", got)
+	}
+}
+
+func TestSpernerCanonical(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		s, err := DivK(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := s.SpernerCount(s.CanonicalColoring())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n%2 == 0 {
+			t.Errorf("k=%d: canonical Sperner count %d is even", k, n)
+		}
+	}
+}
+
+func TestSpernerRejectsInvalidColoring(t *testing.T) {
+	s, err := DivK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.CanonicalColoring()
+	c[0] = 1 // vertex 0's carrier is {0}; coloring it 1 breaks Sperner
+	if _, err := s.SpernerCount(c); err == nil {
+		t.Error("invalid coloring must be rejected")
+	}
+	delete(c, 0)
+	if _, err := s.SpernerCount(c); err == nil {
+		t.Error("partial coloring must be rejected")
+	}
+}
+
+// Property (Lemma 4): every random Sperner coloring of DivK and of the
+// barycentric subdivision yields an odd number of fully colored simplices.
+func TestQuickSpernerOddness(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := 1 + int(kRaw%3)
+		s, err := DivK(k)
+		if err != nil {
+			return false
+		}
+		n, err := s.SpernerCount(s.RandomColoring(rand.New(rand.NewSource(seed))))
+		if err != nil {
+			return false
+		}
+		return n%2 == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSpernerOddnessBarycentric(t *testing.T) {
+	f := func(seed int64) bool {
+		s := Barycentric([]int{0, 1, 2})
+		n, err := s.SpernerCount(s.RandomColoring(rand.New(rand.NewSource(seed))))
+		if err != nil {
+			return false
+		}
+		return n%2 == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDivK3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := DivK(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.SpernerCount(s.CanonicalColoring()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBettiSphere(b *testing.B) {
+	sphere := Boundary([]int{0, 1, 2, 3, 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sphere.BettiNumbers(3)
+	}
+}

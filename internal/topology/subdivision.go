@@ -1,0 +1,202 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Subdivision is a subdivision of one base simplex σ, with carrier
+// tracking: every subdivision vertex maps to the smallest face of σ it
+// subdivides. Vertex ids are interned; original vertices of σ keep their
+// ids, face-center vertices get fresh ones.
+type Subdivision struct {
+	Base    []int // σ, sorted
+	Complex *Complex
+	// Carrier[v] is Car(v): the face of σ (sorted) carrying vertex v.
+	Carrier map[int][]int
+
+	nextID  int
+	centers map[string]int // face key → center vertex id
+}
+
+func newSubdivision(base []int) *Subdivision {
+	b := normalize(base)
+	maxV := 0
+	for _, v := range b {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	s := &Subdivision{
+		Base:    b,
+		Complex: NewComplex(),
+		Carrier: map[int][]int{},
+		nextID:  maxV + 1,
+		centers: map[string]int{},
+	}
+	for _, v := range b {
+		s.Carrier[v] = []int{v}
+	}
+	return s
+}
+
+// center returns (allocating if needed) the center vertex of a face.
+func (s *Subdivision) center(face []int) int {
+	k := key(face)
+	if id, ok := s.centers[k]; ok {
+		return id
+	}
+	id := s.nextID
+	s.nextID++
+	s.centers[k] = id
+	s.Carrier[id] = append([]int(nil), face...)
+	return id
+}
+
+// CenterOf returns the center vertex allocated for a face, if any.
+func (s *Subdivision) CenterOf(face ...int) (int, bool) {
+	id, ok := s.centers[key(normalize(face))]
+	return id, ok
+}
+
+// DivK builds the paper's subdivision Div σ of σ = {0,…,k} (Appendix
+// B.1.2): faces not containing k — and the edge {0,k} — stay whole; every
+// other face containing k is coned from a fresh center vertex over the
+// subdivision of its boundary.
+func DivK(k int) (*Subdivision, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("topology: DivK needs k ≥ 1, got %d", k)
+	}
+	base := make([]int, k+1)
+	for i := range base {
+		base[i] = i
+	}
+	s := newSubdivision(base)
+	s.divFace(base, k)
+	return s, nil
+}
+
+// divFace returns nothing but populates s.Complex with the subdivision of
+// the given face; it returns the list of simplices (vertex sets) that
+// subdivide the face, for use in cones over boundaries.
+func (s *Subdivision) divFace(face []int, k int) [][]int {
+	if len(face) == 1 {
+		s.Complex.Add(face[0])
+		return [][]int{{face[0]}}
+	}
+	whole := !sortedContains(face, k) || (len(face) == 2 && face[0] == 0 && face[1] == k)
+	if whole {
+		s.Complex.Add(face...)
+		return [][]int{append([]int(nil), face...)}
+	}
+	// Cone: fresh center over the subdivided boundary.
+	c := s.center(face)
+	var out [][]int
+	for drop := range face {
+		sub := make([]int, 0, len(face)-1)
+		sub = append(sub, face[:drop]...)
+		sub = append(sub, face[drop+1:]...)
+		for _, piece := range s.divFace(sub, k) {
+			coned := append(append([]int(nil), piece...), c)
+			s.Complex.Add(coned...)
+			out = append(out, normalize(coned))
+		}
+	}
+	return out
+}
+
+// Barycentric builds the (first) barycentric subdivision of an arbitrary
+// simplex: vertices are the nonempty faces, simplices are chains of faces
+// under strict inclusion.
+func Barycentric(simplex []int) *Subdivision {
+	base := normalize(simplex)
+	s := newSubdivision(base)
+	// Allocate a vertex per face: original vertices keep their id, larger
+	// faces get centers.
+	faces := allFaces(base)
+	vertexOf := func(face []int) int {
+		if len(face) == 1 {
+			return face[0]
+		}
+		return s.center(face)
+	}
+	// Chains of faces: enumerate maximal chains (flags) recursively; each
+	// flag of length d+1 is a d-simplex, and the complex closure adds the
+	// rest.
+	var extend func(chain [][]int, last []int)
+	extend = func(chain [][]int, last []int) {
+		if len(last) == len(base) {
+			ids := make([]int, len(chain))
+			for i, f := range chain {
+				ids[i] = vertexOf(f)
+			}
+			s.Complex.Add(ids...)
+			return
+		}
+		for _, f := range faces {
+			if len(f) == len(last)+1 && contains(f, last) {
+				extend(append(chain, f), f)
+			}
+		}
+	}
+	for _, f := range faces {
+		if len(f) == 1 {
+			extend([][]int{f}, f)
+		}
+	}
+	return s
+}
+
+// allFaces lists the nonempty faces of a sorted simplex.
+func allFaces(base []int) [][]int {
+	var out [][]int
+	n := len(base)
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var f []int
+		for b := 0; b < n; b++ {
+			if mask&(1<<uint(b)) != 0 {
+				f = append(f, base[b])
+			}
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return key(out[i]) < key(out[j])
+	})
+	return out
+}
+
+// CheckSubdivision verifies structural sanity: the complex is pure of
+// dim |σ|−1, every vertex's carrier is a face of σ containing it
+// geometrically (carrier membership for originals), and every facet's
+// vertices have carriers whose union is σ-compatible.
+func (s *Subdivision) CheckSubdivision() error {
+	d := len(s.Base) - 1
+	if s.Complex.Dim() != d {
+		return fmt.Errorf("topology: subdivision of %d-simplex has dim %d", d, s.Complex.Dim())
+	}
+	if !s.Complex.IsPure() {
+		return fmt.Errorf("topology: subdivision is not pure")
+	}
+	for _, v := range s.Complex.Vertices() {
+		car, ok := s.Carrier[v]
+		if !ok {
+			return fmt.Errorf("topology: vertex %d has no carrier", v)
+		}
+		if !contains(s.Base, car) {
+			return fmt.Errorf("topology: carrier %v of %d is not a face of σ", car, v)
+		}
+	}
+	return nil
+}
+
+// String renders the subdivision compactly for debugging.
+func (s *Subdivision) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Div%v: %d simplices, %d vertices", s.Base, s.Complex.Size(), len(s.Complex.Vertices()))
+	return b.String()
+}

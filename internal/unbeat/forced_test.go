@@ -1,0 +1,216 @@
+package unbeat
+
+import (
+	"strings"
+	"testing"
+
+	"setconsensus/internal/knowledge"
+	"setconsensus/internal/model"
+)
+
+func TestForcedLowBaseCase(t *testing.T) {
+	// n=4, k=2: process 1 holds low value 0 at time 0; everyone else is
+	// high. Lemma 1 base: validity forces 0 at time 0.
+	adv := model.NewBuilder(4, 2).Input(1, 0).MustBuild()
+	g := knowledge.New(adv, 1)
+	cert, err := ForcedLow(g, 1, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Value != 0 || cert.Time != 0 || cert.Node != 1 {
+		t.Errorf("cert = %+v", cert)
+	}
+	if cert.Hidden != nil || len(cert.Sub) != 0 {
+		t.Error("base case must not recurse")
+	}
+}
+
+func TestForcedLowConditionsRejected(t *testing.T) {
+	// A process with two low values fails condition 2.
+	adv := model.NewBuilder(4, 2).Input(1, 0).Input(2, 1).MustBuild()
+	g := knowledge.New(adv, 1)
+	if _, err := ForcedLow(g, 1, 1, 2); err == nil {
+		t.Error("two low values must be rejected")
+	}
+	// A high process fails condition 1/2.
+	if _, err := ForcedLow(g, 3, 0, 2); err == nil {
+		t.Error("high process must be rejected")
+	}
+}
+
+func TestForcedLowStepFig3Style(t *testing.T) {
+	// The Fig. 3 situation for k = 2: process w becomes low at time 1 for
+	// the first time, via a hidden chain head that crashed in round 1
+	// delivering only to w. One more hidden chain (value 1) gives
+	// HC ≥ k−1 = 1, and enough high hidden processes serve as the j's.
+	//
+	// Layout (n = 8, k = 2): head 1 (value 0) crashes r1 → only to 2;
+	// head 3 (value 1) crashes r1 → only to 4. At time 1, process 2 is
+	// low-for-the-first-time with Lows = {0}, HC⟨2,1⟩ ≥ 1, and the other
+	// processes are high with hidden time-1 nodes.
+	adv := model.NewBuilder(8, 2).
+		Input(1, 0).Input(3, 1).
+		CrashSendingTo(1, 1, 2).
+		CrashSendingTo(3, 1, 4).
+		MustBuild()
+	g := knowledge.New(adv, 2)
+	cert, err := ForcedLow(g, 2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Value != 0 {
+		t.Errorf("forced value = %d, want 0", cert.Value)
+	}
+	if cert.Hidden == nil {
+		t.Fatal("induction step must build the Lemma-2 run")
+	}
+	if len(cert.Sub) != 2 {
+		t.Fatalf("need sub-certificates for both low values, got %d", len(cert.Sub))
+	}
+	if cert.Sub[0].Time != 0 || cert.Sub[1].Time != 0 {
+		t.Error("sub-certificates must be at time 0")
+	}
+	// k! = 2 orderings of the change phase.
+	if cert.Orders != 2 {
+		t.Errorf("orders = %d, want 2", cert.Orders)
+	}
+}
+
+func TestForcedLowK1HiddenPath(t *testing.T) {
+	// k = 1 (consensus): the Fig. 1 chain tail (process 3) becomes low at
+	// time 2 for the first time; Lemma 1 forces it to decide 0.
+	adv, err := model.HiddenPath(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := knowledge.New(adv, 3)
+	cert, err := ForcedLow(g, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Value != 0 {
+		t.Errorf("forced value = %d, want 0", cert.Value)
+	}
+	// k=1: no extra chains, but a two-level recursion down the v-chain.
+	if cert.Hidden != nil {
+		t.Error("k=1 needs no auxiliary chains")
+	}
+	sub := cert.Sub[0]
+	if sub == nil || sub.Time != 1 {
+		t.Fatalf("level-1 sub-cert missing: %+v", sub)
+	}
+	if sub.Sub[0] == nil || sub.Sub[0].Time != 0 {
+		t.Fatalf("level-0 sub-cert missing")
+	}
+}
+
+func TestCannotDecideFig2(t *testing.T) {
+	// The Lemma 3 certificate for the Fig. 2 observer: ⟨0,2⟩ is high with
+	// HC = 3 = k, hence cannot decide in any protocol dominating
+	// Optmin[3].
+	adv, err := model.HiddenChains(14, 3, 2, []model.Value{3, 3, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := knowledge.New(adv, 2)
+	cert, err := CannotDecide(g, 0, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cert.Forced) != 3 {
+		t.Fatalf("need 3 forced witnesses, got %d", len(cert.Forced))
+	}
+	for b, fc := range cert.Forced {
+		if fc.Value != b || fc.Time != 2 {
+			t.Errorf("witness %d forced to %d@%d, want %d@2", b, fc.Value, fc.Time, b)
+		}
+	}
+}
+
+func TestCannotDecideSimple(t *testing.T) {
+	// k=2 at time 1: two silent round-1 crashes keep HC⟨0,1⟩ = 2.
+	adv := model.NewBuilder(7, 2).CrashSilent(5, 1).CrashSilent(6, 1).MustBuild()
+	g := knowledge.New(adv, 1)
+	if hc := g.HiddenCapacity(0, 1); hc != 2 {
+		t.Fatalf("HC⟨0,1⟩ = %d, want 2", hc)
+	}
+	cert, err := CannotDecide(g, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cert.Forced) != 2 {
+		t.Fatalf("forced = %d", len(cert.Forced))
+	}
+}
+
+func TestCannotDecideRejectsLowOrLowHC(t *testing.T) {
+	adv := model.NewBuilder(5, 0).MustBuild() // all inputs 0 (low for k≥1)
+	g := knowledge.New(adv, 1)
+	_, err := CannotDecide(g, 0, 0, 1)
+	if err == nil || !strings.Contains(err.Error(), "low") {
+		t.Errorf("low node must be rejected: %v", err)
+	}
+	high := model.NewBuilder(5, 1).MustBuild()
+	gh := knowledge.New(high, 1)
+	// Failure-free at time 1: HC = 0 < k.
+	if _, err := CannotDecide(gh, 0, 1, 1); err == nil {
+		t.Error("HC < k must be rejected")
+	}
+}
+
+// TestOptminUndecidedNodesAllCertified is the empirical heart of
+// Theorem 1: in every run of the interesting families, EVERY node at which
+// Optmin[k] is still undecided admits a Lemma-3 certificate — no protocol
+// dominating Optmin can decide there either.
+func TestOptminUndecidedNodesAllCertified(t *testing.T) {
+	type tc struct {
+		name string
+		adv  *model.Adversary
+		k    int
+		m    int
+	}
+	var cases []tc
+	hp, err := model.HiddenPath(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, tc{"hidden-path k=1", hp, 1, 2})
+	hc3, err := model.HiddenChains(14, 3, 2, []model.Value{3, 3, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, tc{"hidden-chains k=3", hc3, 3, 2})
+	col, err := model.Collapse(model.CollapseParams{K: 2, R: 2, ExtraCorrect: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, tc{"collapse k=2", col, 2, 2})
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := knowledge.New(c.adv, c.m)
+			certified := 0
+			for i := 0; i < c.adv.N(); i++ {
+				for m := 0; m <= c.m; m++ {
+					if !c.adv.Pattern.Active(i, m) {
+						continue
+					}
+					low := lowsOf(g, i, m, c.k).Count() > 0
+					hc := g.HiddenCapacity(i, m)
+					if low || hc < c.k {
+						continue // Optmin decides here; nothing to certify
+					}
+					if _, err := CannotDecide(g, i, m, c.k); err != nil {
+						t.Errorf("⟨%d,%d⟩ undecided by Optmin but uncertified: %v", i, m, err)
+					} else {
+						certified++
+					}
+				}
+			}
+			if certified == 0 {
+				t.Fatal("no undecided nodes exercised")
+			}
+			t.Logf("certified %d undecided nodes", certified)
+		})
+	}
+}

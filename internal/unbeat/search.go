@@ -1,0 +1,253 @@
+package unbeat
+
+import (
+	"fmt"
+
+	"setconsensus/internal/bitset"
+	"setconsensus/internal/enum"
+	"setconsensus/internal/knowledge"
+	"setconsensus/internal/model"
+	"setconsensus/internal/sim"
+)
+
+// The bounded protocol-space search complements the Lemma-3 certificates:
+// over an exhaustively enumerated adversary space, it tries EVERY decision
+// rule that follows a base protocol (Optmin[k] or u-Pmin[k]) except for
+// deciding strictly earlier at up to `width` distinct local views, with
+// any valid value at each. Because full-information protocols are exactly
+// functions of the view, such a rule IS a protocol; if it solved the task
+// it would strictly dominate the base protocol. The search verifies that
+// every candidate violates the task on some run — i.e. the base protocol
+// is unbeatable within this (bounded, but for small n meaningful)
+// protocol class.
+
+// SearchParams configures the deviation search.
+type SearchParams struct {
+	Space   enum.Space
+	K       int
+	T       int
+	Uniform bool // check uniform agreement (for u-Pmin conjecture probes)
+	Width   int  // maximum number of deviating views (1 or 2)
+}
+
+// SearchReport summarizes the search outcome.
+type SearchReport struct {
+	Runs        int // adversaries enumerated
+	Views       int // distinct pre-decision views (deviation points)
+	Candidates  int // deviation sets tested
+	Beaten      bool
+	Witness     string // description of a successful dominating deviation
+	PairsPruned int    // width-2 pairs eliminated by the locality rule
+	PairsTested int
+}
+
+// searchRun is one adversary's compiled form: per process, the interned
+// view id at each active time up to the base protocol's decision, plus
+// the base decision itself.
+type searchRun struct {
+	adv      *model.Adversary
+	seq      [][]int // seq[i][m] = view id, m ≤ decision time (or last active)
+	decTime  []int   // base decision time, −1 if none
+	decValue []model.Value
+	correct  []bool
+	present  *bitset.Set // values present in the input vector
+}
+
+// Search enumerates the space, compiles all runs of the base protocol,
+// and tests every ≤Width-view early-deviation rule.
+func Search(base sim.Protocol, p SearchParams) (*SearchReport, error) {
+	if p.Width < 1 || p.Width > 2 {
+		return nil, fmt.Errorf("unbeat: search width must be 1 or 2, got %d", p.Width)
+	}
+	ids := map[string]int{}
+	var viewVals []*bitset.Set // per view id: Vals of the view
+	var viewPre []bool         // ever occurs strictly before a base decision
+	var runs []*searchRun
+
+	horizon := p.T/p.K + 1
+	err := p.Space.ForEach(func(adv *model.Adversary) bool {
+		g := knowledge.New(adv, horizon)
+		res := sim.RunWithGraph(base, g)
+		sr := &searchRun{
+			adv:      adv,
+			seq:      make([][]int, adv.N()),
+			decTime:  make([]int, adv.N()),
+			decValue: make([]model.Value, adv.N()),
+			correct:  make([]bool, adv.N()),
+			present:  &bitset.Set{},
+		}
+		for _, v := range adv.Inputs {
+			sr.present.Add(v)
+		}
+		for i := 0; i < adv.N(); i++ {
+			sr.correct[i] = adv.Pattern.Correct(i)
+			sr.decTime[i] = res.DecisionTime(i)
+			if d := res.Decisions[i]; d != nil {
+				sr.decValue[i] = d.Value
+			}
+			last := sr.decTime[i]
+			if last < 0 {
+				// Crashed before deciding: views until last active time.
+				last = adv.Pattern.CrashRound(i) - 1
+				if last > horizon {
+					last = horizon
+				}
+			}
+			for m := 0; m <= last; m++ {
+				fp := g.Fingerprint(i, m)
+				id, ok := ids[fp]
+				if !ok {
+					id = len(viewVals)
+					ids[fp] = id
+					viewVals = append(viewVals, g.Vals(i, m))
+					viewPre = append(viewPre, false)
+				}
+				if m < sr.decTime[i] || sr.decTime[i] < 0 {
+					viewPre[id] = true
+				}
+				sr.seq[i] = append(sr.seq[i], id)
+			}
+		}
+		runs = append(runs, sr)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deviation points: views that occur strictly before a base decision
+	// (deciding there is a strict improvement), with any value the view
+	// has seen (anything else instantly violates Validity).
+	type deviation struct {
+		view  int
+		value model.Value
+	}
+	var devs []deviation
+	for id, pre := range viewPre {
+		if !pre {
+			continue
+		}
+		viewVals[id].ForEach(func(v int) bool {
+			devs = append(devs, deviation{view: id, value: v})
+			return true
+		})
+	}
+	report := &SearchReport{Runs: len(runs), Views: len(devs)}
+
+	// violates simulates a candidate (deviation map) on one run and
+	// reports (taskViolated, strictWinObserved).
+	violates := func(dv map[int]model.Value, sr *searchRun) (bool, bool) {
+		decided := &bitset.Set{}
+		strict := false
+		undecidedCorrect := false
+		for i := range sr.seq {
+			dTime, dVal := sr.decTime[i], sr.decValue[i]
+			final := dTime
+			finalVal := dVal
+			// A candidate is a function of the view: whenever a deviating
+			// view occurs while the process is undecided, it decides the
+			// deviation's value — strictly early if before the base
+			// decision, as a value override if at it.
+			for m, id := range sr.seq[i] {
+				if v, hit := dv[id]; hit {
+					final, finalVal = m, v
+					if dTime < 0 || m < dTime {
+						strict = true
+					}
+					break
+				}
+			}
+			if final < 0 {
+				if sr.correct[i] {
+					undecidedCorrect = true
+				}
+				continue
+			}
+			if !sr.present.Contains(finalVal) {
+				return true, strict // Validity broken
+			}
+			if p.Uniform || sr.correct[i] {
+				decided.Add(finalVal)
+			}
+		}
+		if undecidedCorrect {
+			return true, strict // Decision broken
+		}
+		return decided.Count() > p.K, strict
+	}
+
+	// testCandidate returns true if the candidate solves the task on every
+	// run while strictly beating the base protocol somewhere.
+	testCandidate := func(dv map[int]model.Value) bool {
+		strictAnywhere := false
+		for _, sr := range runs {
+			bad, strict := violates(dv, sr)
+			if bad {
+				return false
+			}
+			strictAnywhere = strictAnywhere || strict
+		}
+		return strictAnywhere
+	}
+
+	// Width 1.
+	singleViolated := make([]*bitset.Set, len(devs)) // runs violated by each single deviation
+	for di, d := range devs {
+		report.Candidates++
+		dv := map[int]model.Value{d.view: d.value}
+		vio := &bitset.Set{}
+		strictAnywhere := false
+		for ri, sr := range runs {
+			bad, strict := violates(dv, sr)
+			if bad {
+				vio.Add(ri)
+			}
+			strictAnywhere = strictAnywhere || strict
+		}
+		singleViolated[di] = vio
+		if vio.Empty() && strictAnywhere {
+			report.Beaten = true
+			report.Witness = fmt.Sprintf("single deviation: decide %d at view #%d", d.value, d.view)
+			return report, nil
+		}
+	}
+	if p.Width == 1 {
+		return report, nil
+	}
+
+	// Width 2 with the locality prune: deviation B can only repair A's
+	// violated runs if B's view occurs in every one of them.
+	occurs := make([]*bitset.Set, len(viewVals))
+	for i := range occurs {
+		occurs[i] = &bitset.Set{}
+	}
+	for ri, sr := range runs {
+		for _, row := range sr.seq {
+			for _, id := range row {
+				occurs[id].Add(ri)
+			}
+		}
+	}
+	for ai := 0; ai < len(devs); ai++ {
+		for bi := ai + 1; bi < len(devs); bi++ {
+			if devs[ai].view == devs[bi].view {
+				continue // one decision per view
+			}
+			if !singleViolated[ai].SubsetOf(occurs[devs[bi].view]) ||
+				!singleViolated[bi].SubsetOf(occurs[devs[ai].view]) {
+				report.PairsPruned++
+				continue
+			}
+			report.PairsTested++
+			report.Candidates++
+			dv := map[int]model.Value{devs[ai].view: devs[ai].value, devs[bi].view: devs[bi].value}
+			if testCandidate(dv) {
+				report.Beaten = true
+				report.Witness = fmt.Sprintf("pair deviation: decide %d at view #%d and %d at view #%d",
+					devs[ai].value, devs[ai].view, devs[bi].value, devs[bi].view)
+				return report, nil
+			}
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,100 @@
+package unbeat
+
+import (
+	"testing"
+
+	"setconsensus/internal/baseline"
+	"setconsensus/internal/core"
+	"setconsensus/internal/enum"
+	"setconsensus/internal/model"
+	"setconsensus/internal/sim"
+)
+
+func TestSearchOptminUnbeatenK1(t *testing.T) {
+	// Binary consensus over n=3, t=2, rounds ≤ 3: no rule deviating from
+	// Opt0 at up to two views survives the task — Theorem 1 on the
+	// bounded model.
+	p := SearchParams{
+		Space: enum.Space{N: 3, T: 2, MaxRound: 3, Values: []model.Value{0, 1}},
+		K:     1, T: 2, Width: 2,
+	}
+	base := core.MustOptmin(core.Params{N: 3, T: 2, K: 1})
+	rep, err := Search(base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Beaten {
+		t.Fatalf("Optmin[1] beaten: %s", rep.Witness)
+	}
+	if rep.Views == 0 || rep.Candidates == 0 {
+		t.Fatalf("degenerate search: %+v", rep)
+	}
+	t.Logf("runs=%d deviation-points=%d candidates=%d pairs(pruned=%d tested=%d)",
+		rep.Runs, rep.Views, rep.Candidates, rep.PairsPruned, rep.PairsTested)
+}
+
+func TestSearchOptminUnbeatenK2(t *testing.T) {
+	// 2-set consensus over n=4, t=2, crash rounds ≤ 2, width 1.
+	p := SearchParams{
+		Space: enum.Space{N: 4, T: 2, MaxRound: 2, Values: []model.Value{0, 1, 2}},
+		K:     2, T: 2, Width: 1,
+	}
+	base := core.MustOptmin(core.Params{N: 4, T: 2, K: 2})
+	rep, err := Search(base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Beaten {
+		t.Fatalf("Optmin[2] beaten: %s", rep.Witness)
+	}
+	t.Logf("runs=%d deviation-points=%d candidates=%d", rep.Runs, rep.Views, rep.Candidates)
+}
+
+func TestSearchUPminConjectureProbe(t *testing.T) {
+	// Conjecture 1 probe: u-Pmin[1] (uniform consensus) — the search
+	// must find no width-2 beat on the bounded model either.
+	p := SearchParams{
+		Space: enum.Space{N: 3, T: 2, MaxRound: 2, Values: []model.Value{0, 1}},
+		K:     1, T: 2, Uniform: true, Width: 2,
+	}
+	base := core.MustUPmin(core.Params{N: 3, T: 2, K: 1})
+	rep, err := Search(base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Beaten {
+		t.Fatalf("u-Pmin[1] beaten on the bounded model — Conjecture 1 witness? %s", rep.Witness)
+	}
+	t.Logf("runs=%d deviation-points=%d candidates=%d pairs tested=%d",
+		rep.Runs, rep.Views, rep.Candidates, rep.PairsTested)
+}
+
+func TestSearchFindsBeatOfBeatableProtocol(t *testing.T) {
+	// Sanity: FloodMin[1] (always waits until ⌊t/k⌋+1) IS beatable, and
+	// the search must find a beating deviation.
+	p := SearchParams{
+		Space: enum.Space{N: 3, T: 1, MaxRound: 1, Values: []model.Value{0, 1}},
+		K:     1, T: 1, Width: 1,
+	}
+	base := baseline.Must(baseline.FloodMin, core.Params{N: 3, T: 1, K: 1})
+	rep, err := Search(base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Beaten {
+		t.Fatal("search failed to beat FloodMin — the search itself is broken")
+	}
+	t.Logf("beat: %s", rep.Witness)
+}
+
+func TestSearchWidthValidation(t *testing.T) {
+	base := core.MustOptmin(core.Params{N: 3, T: 1, K: 1})
+	_, err := Search(base, SearchParams{
+		Space: enum.Space{N: 3, T: 1, MaxRound: 1, Values: []model.Value{0}},
+		K:     1, T: 1, Width: 3,
+	})
+	if err == nil {
+		t.Error("width 3 must be rejected")
+	}
+	var _ sim.Protocol = base
+}

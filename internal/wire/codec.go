@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary codec for fact messages: a varint fact count followed by
+// (kind, proc, arg) varint triples. An "alive" heartbeat is the single
+// byte 0x00. Every field is O(log n) bits, so with O(1) facts per
+// (sender, subject) pair the per-link total is O(n log n) bits — the
+// Lemma 6 budget, asserted by the accounting tests.
+
+// Encode serializes a message's facts.
+func Encode(facts []Fact) []byte {
+	buf := make([]byte, 0, 1+len(facts)*6)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	put(uint64(len(facts)))
+	for _, f := range facts {
+		put(uint64(f.Kind))
+		put(uint64(f.Proc))
+		put(uint64(f.Arg))
+	}
+	return buf
+}
+
+// Decode parses a fact bundle.
+func Decode(b []byte) ([]Fact, error) {
+	get := func() (uint64, error) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return 0, fmt.Errorf("wire: truncated message")
+		}
+		b = b[n:]
+		return v, nil
+	}
+	count, err := get()
+	if err != nil {
+		return nil, err
+	}
+	facts := make([]Fact, 0, count)
+	for i := uint64(0); i < count; i++ {
+		kind, err := get()
+		if err != nil {
+			return nil, err
+		}
+		proc, err := get()
+		if err != nil {
+			return nil, err
+		}
+		arg, err := get()
+		if err != nil {
+			return nil, err
+		}
+		facts = append(facts, Fact{Kind: FactKind(kind), Proc: int(proc), Arg: int(arg)})
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(b))
+	}
+	return facts, nil
+}

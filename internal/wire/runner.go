@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"fmt"
+
+	"setconsensus/internal/core"
+	"setconsensus/internal/model"
+)
+
+// Rule selects which of the paper's protocols drives decisions over the
+// compact state.
+type Rule int
+
+// The decision rules runnable over the wire protocol.
+const (
+	RuleOptmin Rule = iota + 1
+	RuleUPmin
+)
+
+// Decision mirrors sim.Decision for cross-checking.
+type Decision struct {
+	Value model.Value
+	Time  int
+}
+
+// Result is the outcome of a compact-protocol run with bit accounting.
+type Result struct {
+	Decisions []*Decision
+	// BitsSent[i][j] counts the bits i sent to j over the whole run
+	// (delivered messages; i ≠ j).
+	BitsSent [][]int
+}
+
+// MaxPairBits returns the largest per-ordered-pair bit total.
+func (r *Result) MaxPairBits() int {
+	max := 0
+	for _, row := range r.BitsSent {
+		for _, b := range row {
+			if b > max {
+				max = b
+			}
+		}
+	}
+	return max
+}
+
+// Run executes the compact protocol under the given decision rule against
+// an adversary, deterministically, and returns decisions plus per-link
+// bit counts. Decisions must (and, per the equivalence tests, do) match
+// the full-information oracle exactly.
+func Run(rule Rule, p core.Params, adv *model.Adversary) (*Result, error) {
+	return RunHooked(rule, p, adv, nil)
+}
+
+// RunHooked is Run with an inspection hook invoked after every time step
+// (including time 0) with the current states; the equivalence tests use
+// it to compare the reconstructed knowledge against the oracle at every
+// node, not just at decisions.
+func RunHooked(rule Rule, p core.Params, adv *model.Adversary, hook func(m int, states []*State)) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if adv.N() != p.N {
+		return nil, fmt.Errorf("wire: adversary over %d processes, params say %d", adv.N(), p.N)
+	}
+	n := adv.N()
+	horizon := p.T/p.K + 1
+
+	states := make([]*State, n)
+	for i := 0; i < n; i++ {
+		states[i] = NewState(n, i, adv.Inputs[i])
+	}
+	res := &Result{Decisions: make([]*Decision, n), BitsSent: make([][]int, n)}
+	for i := range res.BitsSent {
+		res.BitsSent[i] = make([]int, n)
+	}
+
+	// Previous-time snapshots for u-Pmin's second rule and persistence.
+	prevLow := make([]bool, n)
+	prevHC := make([]int, n)
+	prevMin := make([]model.Value, n)
+	prevVals := make([][]model.Value, n)
+
+	decide := func(i model.Proc, m int) {
+		if res.Decisions[i] != nil {
+			return
+		}
+		st := states[i]
+		switch rule {
+		case RuleOptmin:
+			if st.Low(p.K) || st.HiddenCapacity() < p.K {
+				res.Decisions[i] = &Decision{Value: st.Min(), Time: m}
+			}
+		case RuleUPmin:
+			low, hc := st.Low(p.K), st.HiddenCapacity()
+			if low || hc < p.K {
+				if min := st.Min(); st.Persists(min, prevVals[i], p.T) {
+					res.Decisions[i] = &Decision{Value: min, Time: m}
+					return
+				}
+			}
+			if m > 0 && (prevLow[i] || prevHC[i] < p.K) {
+				res.Decisions[i] = &Decision{Value: prevMin[i], Time: m}
+				return
+			}
+			if m == p.T/p.K+1 {
+				res.Decisions[i] = &Decision{Value: st.Min(), Time: m}
+			}
+		}
+	}
+
+	snapshot := func() {
+		for i := 0; i < n; i++ {
+			if !adv.Pattern.Active(i, states[i].Time()) {
+				continue
+			}
+			prevLow[i] = states[i].Low(p.K)
+			prevHC[i] = states[i].HiddenCapacity()
+			prevMin[i] = states[i].Min()
+			prevVals[i] = states[i].Vals()
+		}
+	}
+
+	// Time 0 decisions, then rounds 1..horizon.
+	for i := 0; i < n; i++ {
+		if adv.Pattern.Active(i, 0) {
+			decide(i, 0)
+		}
+	}
+	if hook != nil {
+		hook(0, states)
+	}
+	for m := 1; m <= horizon; m++ {
+		snapshot()
+		// Collect outboxes of processes alive at send time m−1.
+		outbox := make([][]Fact, n)
+		for i := 0; i < n; i++ {
+			if adv.Pattern.CrashRound(i) >= m { // sends (possibly partially) in round m
+				outbox[i] = states[i].Outbox()
+			}
+		}
+		// Deliver per the failure pattern, with bit accounting.
+		for j := 0; j < n; j++ {
+			if !adv.Pattern.Active(j, m) {
+				continue
+			}
+			var msgs []Message
+			for i := 0; i < n; i++ {
+				if i == j || !adv.Pattern.Delivered(i, j, m) {
+					continue
+				}
+				msgs = append(msgs, Message{From: i, Round: m, Facts: outbox[i]})
+				res.BitsSent[i][j] += 8 * len(Encode(outbox[i]))
+			}
+			states[j].Deliver(m, msgs)
+		}
+		for i := 0; i < n; i++ {
+			if adv.Pattern.Active(i, m) {
+				decide(i, m)
+			}
+		}
+		if hook != nil {
+			hook(m, states)
+		}
+	}
+	return res, nil
+}
