@@ -4,10 +4,12 @@ import (
 	"setconsensus/internal/baseline"
 	"setconsensus/internal/check"
 	"setconsensus/internal/core"
+	"setconsensus/internal/enum"
 	"setconsensus/internal/experiments"
 	"setconsensus/internal/knowledge"
 	"setconsensus/internal/model"
 	"setconsensus/internal/sim"
+	"setconsensus/internal/topology"
 	"setconsensus/internal/unbeat"
 	"setconsensus/internal/wire"
 )
@@ -23,10 +25,11 @@ type (
 	Builder = model.Builder
 	// Params configures a protocol: n processes, crash bound t, degree k.
 	Params = core.Params
-	// Protocol is any decision protocol runnable by the simulator.
+	// Protocol is any decision protocol runnable by the oracle backend.
 	Protocol = sim.Protocol
-	// Result is a finished run with all decisions.
-	Result = sim.Result
+	// SimResult is the oracle simulator's raw result; Engine.Run wraps it
+	// in the unified Result.
+	SimResult = sim.Result
 	// Decision is one process's (value, time) decision.
 	Decision = sim.Decision
 	// Graph is the knowledge substrate of one run: views, hidden nodes,
@@ -38,6 +41,20 @@ type (
 	CollapseParams = model.CollapseParams
 	// BaselineKind selects a literature comparator protocol.
 	BaselineKind = baseline.Kind
+	// Space enumerates an exhaustive adversary space (n, t, rounds,
+	// values) for searches and conformance sweeps.
+	Space = enum.Space
+	// SearchParams configures the bounded protocol-space search of
+	// internal/unbeat.
+	SearchParams = unbeat.SearchParams
+	// SearchReport is the outcome of a protocol-space search.
+	SearchReport = unbeat.SearchReport
+	// CannotDecideCert is the Lemma 3 unbeatability certificate.
+	CannotDecideCert = unbeat.CannotDecideCert
+	// Subdivision is the paper's subdivided simplex Div σ (Appendix B.1).
+	Subdivision = topology.Subdivision
+	// ExperimentTable is one rendered paper-reproduction table.
+	ExperimentTable = experiments.Table
 )
 
 // Baseline protocol kinds (§5's "all known protocols").
@@ -53,7 +70,8 @@ const (
 func NewBuilder(n int, defaultValue int) *Builder { return model.NewBuilder(n, defaultValue) }
 
 // NewOptmin builds the unbeatable nonuniform k-set consensus protocol
-// Optmin[k] (§4, Theorem 1).
+// Optmin[k] (§4, Theorem 1). Prefer NewProtocol("optmin", p) / Engine.Run
+// for name-driven construction.
 func NewOptmin(p Params) (Protocol, error) { return core.NewOptmin(p) }
 
 // NewUPmin builds the uniform k-set consensus protocol u-Pmin[k] (§5,
@@ -70,14 +88,17 @@ func NewUOpt0(n, t int) (Protocol, error) { return core.NewUOpt0(n, t) }
 func NewBaseline(kind BaselineKind, p Params) (Protocol, error) { return baseline.New(kind, p) }
 
 // Run executes a protocol against an adversary on the oracle simulator.
-func Run(p Protocol, adv *Adversary) *Result { return sim.Run(p, adv) }
+// It is the single-shot, pre-Engine entry point; batch workloads go
+// through Engine.Sweep, which shares knowledge graphs across protocols.
+func Run(p Protocol, adv *Adversary) *SimResult { return sim.Run(p, adv) }
 
 // NewGraph computes the knowledge graph of an adversary up to horizon.
 func NewGraph(adv *Adversary, horizon int) *Graph { return knowledge.New(adv, horizon) }
 
-// Verify checks a finished run against a task specification
-// (Decision / Validity / (Uniform) k-Agreement).
-func Verify(res *Result, task Task) error { return check.VerifyRun(res, task) }
+// Verify checks a finished oracle run against a task specification
+// (Decision / Validity / (Uniform) k-Agreement). Unified Results verify
+// themselves via Result.Verify.
+func Verify(res *SimResult, task Task) error { return check.VerifyRun(res, task) }
 
 // Collapse builds the Fig. 4 separation family on which u-Pmin decides at
 // time 2 while every prior protocol needs ⌊t/k⌋+1.
@@ -96,15 +117,33 @@ func HiddenChains(n, c, m int, chainValues []int, defaultValue int) (*Adversary,
 
 // CannotDecide builds the Lemma 3 certificate that a high node with
 // hidden capacity ≥ k cannot decide in any protocol dominating Optmin[k].
-func CannotDecide(g *Graph, i, m, k int) (*unbeat.CannotDecideCert, error) {
+func CannotDecide(g *Graph, i, m, k int) (*CannotDecideCert, error) {
 	return unbeat.CannotDecide(g, i, m, k)
 }
 
+// Search runs the bounded protocol-space search for a deviation that
+// dominates base (the computational content of Theorem 1).
+func Search(base Protocol, p SearchParams) (*SearchReport, error) { return unbeat.Search(base, p) }
+
+// DivK builds the paper's subdivision Div σ for degree k (Appendix B.1).
+func DivK(k int) (*Subdivision, error) { return topology.DivK(k) }
+
 // RunWire executes the Appendix E compact-message protocol (Optmin rule)
-// and reports decisions plus per-link bit counts.
+// and reports decisions plus per-link bit counts. Engine with
+// WithBackend(Wire) is the name-driven equivalent.
 func RunWire(p Params, adv *Adversary) (*wire.Result, error) {
 	return wire.Run(wire.RuleOptmin, p, adv)
 }
 
 // Experiment regenerates one of the paper-reproduction tables (E1–E10).
-func Experiment(id string) (*experiments.Table, error) { return experiments.Run(id) }
+func Experiment(id string) (*ExperimentTable, error) { return experiments.Run(id) }
+
+// ExperimentIDs lists the experiment ids in presentation order.
+func ExperimentIDs() []string {
+	reg := experiments.Registry()
+	ids := make([]string, len(reg))
+	for i, e := range reg {
+		ids[i] = e.ID
+	}
+	return ids
+}

@@ -1,0 +1,128 @@
+package setconsensus
+
+import (
+	"context"
+	"fmt"
+
+	"setconsensus/internal/knowledge"
+	"setconsensus/internal/model"
+	"setconsensus/internal/runtime"
+	"setconsensus/internal/sim"
+	"setconsensus/internal/wire"
+)
+
+// Backend executes one protocol run. The three implementations adapt the
+// oracle simulator (internal/sim), the goroutine message-passing engine
+// (internal/runtime), and the compact wire runner (internal/wire) to one
+// contract: resolve the spec, run it against the adversary, return a
+// unified Result — errors, never panics.
+type Backend interface {
+	// Kind identifies the backend.
+	Kind() BackendKind
+	// NeedsGraph reports whether Run requires a precomputed knowledge
+	// graph; the Engine supplies (and shares) one when it does.
+	NeedsGraph() bool
+	// Run executes spec against adv under params p. g is non-nil exactly
+	// when NeedsGraph reports true.
+	Run(ctx context.Context, ref string, spec *ProtocolSpec, p Params, adv *model.Adversary, g *knowledge.Graph) (*Result, error)
+}
+
+// backendFor maps a kind to its implementation.
+func backendFor(k BackendKind) (Backend, error) {
+	switch k {
+	case Oracle:
+		return oracleBackend{}, nil
+	case Goroutines:
+		return goroutineBackend{}, nil
+	case Wire:
+		return wireBackend{}, nil
+	}
+	return nil, fmt.Errorf("engine: unknown backend %d", int(k))
+}
+
+// requireWireCapable gates the compact backends to the protocols the
+// Appendix E encoding can carry.
+func requireWireCapable(spec *ProtocolSpec, kind BackendKind) error {
+	if !spec.WireCapable() {
+		return fmt.Errorf("engine: protocol %q is full-information only and cannot run on the %s backend (use Oracle)",
+			spec.Name, kind)
+	}
+	return nil
+}
+
+// oracleBackend runs the deterministic full-information simulator over a
+// shared knowledge graph.
+type oracleBackend struct{}
+
+func (oracleBackend) Kind() BackendKind { return Oracle }
+func (oracleBackend) NeedsGraph() bool  { return true }
+
+func (oracleBackend) Run(ctx context.Context, ref string, spec *ProtocolSpec, p Params, adv *model.Adversary, g *knowledge.Graph) (*Result, error) {
+	proto, err := spec.New(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	simRes := sim.RunWithGraph(proto, g)
+	res := newResult(ref, proto.Name(), Oracle, p, adv, simRes.Decisions)
+	res.graph = g
+	res.GraphStats = graphStats(g)
+	return res, nil
+}
+
+// goroutineBackend runs the concurrent message-passing engine.
+type goroutineBackend struct{}
+
+func (goroutineBackend) Kind() BackendKind { return Goroutines }
+func (goroutineBackend) NeedsGraph() bool  { return false }
+
+func (goroutineBackend) Run(ctx context.Context, ref string, spec *ProtocolSpec, p Params, adv *model.Adversary, _ *knowledge.Graph) (*Result, error) {
+	if err := requireWireCapable(spec, Goroutines); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rtRes, err := runtime.Run(spec.WireRule, p, adv)
+	if err != nil {
+		return nil, err
+	}
+	decisions := make([]*Decision, len(rtRes.Decisions))
+	for i, d := range rtRes.Decisions {
+		if d != nil {
+			decisions[i] = &Decision{Value: d.Value, Time: d.Time}
+		}
+	}
+	return newResult(ref, protocolRuntimeName(spec, p), Goroutines, p, adv, decisions), nil
+}
+
+// wireBackend runs the deterministic compact-protocol runner with bit
+// accounting.
+type wireBackend struct{}
+
+func (wireBackend) Kind() BackendKind { return Wire }
+func (wireBackend) NeedsGraph() bool  { return false }
+
+func (wireBackend) Run(ctx context.Context, ref string, spec *ProtocolSpec, p Params, adv *model.Adversary, _ *knowledge.Graph) (*Result, error) {
+	if err := requireWireCapable(spec, Wire); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	wRes, err := wire.Run(spec.WireRule, p, adv)
+	if err != nil {
+		return nil, err
+	}
+	decisions := make([]*Decision, len(wRes.Decisions))
+	for i, d := range wRes.Decisions {
+		if d != nil {
+			decisions[i] = &Decision{Value: d.Value, Time: d.Time}
+		}
+	}
+	res := newResult(ref, protocolRuntimeName(spec, p), Wire, p, adv, decisions)
+	res.Bits = bitStats(wRes)
+	return res, nil
+}

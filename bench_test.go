@@ -6,8 +6,10 @@ package setconsensus_test
 // piece of the paper end to end.
 
 import (
+	"context"
 	"testing"
 
+	setconsensus "setconsensus"
 	"setconsensus/internal/core"
 	"setconsensus/internal/experiments"
 	"setconsensus/internal/knowledge"
@@ -107,6 +109,81 @@ func BenchmarkWireOptmin(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := wire.Run(wire.RuleOptmin, p, adv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Sweep ablation: Engine.Sweep shares one knowledge graph per adversary
+// across all protocols; the naive loop recomputes the graph for every
+// (protocol, adversary) pair. The gap is the graph-sharing win that the
+// batch facade exists for.
+var sweepRefs = []string{
+	"optmin", "upmin", "floodmin", "earlycount", "u-earlycount", "perround", "u-perround",
+}
+
+func sweepAdversary(b *testing.B) (*setconsensus.Adversary, int) {
+	b.Helper()
+	cp := model.CollapseParams{K: 3, R: 6, ExtraCorrect: 4}
+	adv, err := model.Collapse(cp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return adv, model.CollapseT(cp)
+}
+
+func BenchmarkSweepSharedGraph(b *testing.B) {
+	adv, tb := sweepAdversary(b)
+	// Cache off: every iteration pays for exactly one graph, shared by
+	// all protocols of the sweep.
+	eng := setconsensus.New(
+		setconsensus.WithCrashBound(tb),
+		setconsensus.WithDegree(3),
+		setconsensus.WithGraphCache(0),
+		setconsensus.WithParallelism(1),
+	)
+	ctx := context.Background()
+	advs := []*setconsensus.Adversary{adv}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Sweep(ctx, sweepRefs, advs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepNaivePerRunGraphs(b *testing.B) {
+	adv, tb := sweepAdversary(b)
+	p := core.Params{N: adv.N(), T: tb, K: 3}
+	protos := make([]setconsensus.Protocol, len(sweepRefs))
+	for i, ref := range sweepRefs {
+		proto, err := setconsensus.NewProtocol(ref, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		protos[i] = proto
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, proto := range protos {
+			setconsensus.Run(proto, adv) // knowledge.New per run
+		}
+	}
+}
+
+func BenchmarkSweepCachedGraphs(b *testing.B) {
+	adv, tb := sweepAdversary(b)
+	// Cache on: after the first iteration the graph is a map hit.
+	eng := setconsensus.New(
+		setconsensus.WithCrashBound(tb),
+		setconsensus.WithDegree(3),
+		setconsensus.WithParallelism(1),
+	)
+	ctx := context.Background()
+	advs := []*setconsensus.Adversary{adv}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Sweep(ctx, sweepRefs, advs); err != nil {
 			b.Fatal(err)
 		}
 	}

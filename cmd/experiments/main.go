@@ -1,5 +1,6 @@
 // Command experiments regenerates the paper-reproduction tables E1–E10
-// (one per figure/theorem; see DESIGN.md §4 and EXPERIMENTS.md).
+// (one per figure/theorem; see DESIGN.md §4 and EXPERIMENTS.md) through
+// the library facade.
 //
 // Usage:
 //
@@ -13,7 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"setconsensus/internal/experiments"
+	setconsensus "setconsensus"
 )
 
 func main() {
@@ -21,31 +22,19 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
-	if *list {
-		for _, e := range experiments.Registry() {
-			tbl, err := e.Gen()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-				os.Exit(1)
-			}
-			fmt.Printf("%-4s %s\n", e.ID, tbl.Title)
-		}
-		return
-	}
+	ids := setconsensus.ExperimentIDs()
 	if *id != "" {
-		tbl, err := experiments.Run(*id)
+		ids = []string{*id}
+	}
+	for _, eid := range ids {
+		tbl, err := setconsensus.Experiment(eid)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", eid, err)
 			os.Exit(1)
 		}
-		fmt.Println(tbl.Render())
-		return
-	}
-	for _, e := range experiments.Registry() {
-		tbl, err := e.Gen()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
-			os.Exit(1)
+		if *list {
+			fmt.Printf("%-4s %s\n", eid, tbl.Title)
+			continue
 		}
 		fmt.Println(tbl.Render())
 	}

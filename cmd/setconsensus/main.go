@@ -1,6 +1,12 @@
 // Command setconsensus runs a k-set consensus protocol against an
 // adversary described on the command line and prints the decision table.
 //
+// Protocols are resolved by name in the library's Registry — run with
+// -list to see every registered protocol — and executed through the
+// Engine facade on any of the three backends: the full-information
+// oracle simulator (default), the goroutine message-passing engine, or
+// the compact wire protocol with bit accounting.
+//
 // Examples:
 //
 //	# Optmin[2] on 6 processes with inputs 0,2,2,2,2,2 and one silent
@@ -10,12 +16,16 @@
 //	# u-Pmin[3] on the Fig. 4 collapse family with R=4:
 //	setconsensus -protocol upmin -collapse-k 3 -collapse-r 4
 //
+//	# The same run on the compact wire backend, with bandwidth stats:
+//	setconsensus -protocol upmin -collapse-k 3 -collapse-r 4 -backend wire
+//
 // Crash syntax: "p@r:a,b" crashes process p in round r delivering only to
 // a and b; "p@r:" is a silent crash; "p@r:*" is a complete send. Multiple
 // crashes are separated by ';'.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,33 +36,62 @@ import (
 )
 
 func main() {
-	protoName := flag.String("protocol", "optmin", "optmin | upmin | floodmin | earlycount | u-earlycount | perround | u-perround")
+	protoName := flag.String("protocol", "optmin", "protocol name in the registry (see -list)")
+	backendName := flag.String("backend", "oracle", "execution backend: oracle | goroutines | wire")
 	k := flag.Int("k", 1, "coordination degree k")
 	t := flag.Int("t", -1, "crash bound t (default n−1)")
 	inputsFlag := flag.String("inputs", "", "comma-separated initial values")
 	crashFlag := flag.String("crash", "", "crash spec, e.g. \"1@1:2;3@2:*\"")
 	collapseK := flag.Int("collapse-k", 0, "build the Fig. 4 collapse family with this k instead of -inputs/-crash")
 	collapseR := flag.Int("collapse-r", 3, "collapse family crash rounds R")
+	list := flag.Bool("list", false, "list registered protocols and exit")
 	flag.Parse()
+
+	if *list {
+		for _, spec := range setconsensus.DefaultRegistry().Specs() {
+			wire := ""
+			if spec.WireCapable() {
+				wire = "  [wire-capable]"
+			}
+			fmt.Printf("%-14s %s%s\n", spec.Name, spec.Summary, wire)
+		}
+		return
+	}
 
 	adv, tBound, err := buildAdversary(*inputsFlag, *crashFlag, *collapseK, *collapseR, *t)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	p := setconsensus.Params{N: adv.N(), T: tBound, K: *k}
+	degree := *k
 	if *collapseK > 0 {
-		p.K = *collapseK
+		degree = *collapseK
 	}
-	proto, uniform, err := buildProtocol(*protoName, p)
+	backend, err := setconsensus.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	spec, err := setconsensus.LookupProtocol(*protoName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	res := setconsensus.Run(proto, adv)
+	eng := setconsensus.New(
+		setconsensus.WithBackend(backend),
+		setconsensus.WithCrashBound(tBound),
+		setconsensus.WithDegree(degree),
+	)
+	res, err := eng.Run(context.Background(), spec.Name, adv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	fmt.Printf("adversary: %s\n", adv)
-	fmt.Printf("protocol:  %s (n=%d, t=%d, k=%d)\n\n", proto.Name(), p.N, p.T, p.K)
+	fmt.Printf("protocol:  %s on %s backend (n=%d, t=%d, k=%d)\n\n",
+		res.Protocol, res.Backend, res.Params.N, res.Params.T, res.Params.K)
 	fmt.Println("proc  decision  time")
 	for i := 0; i < adv.N(); i++ {
 		d := res.Decisions[i]
@@ -66,8 +105,11 @@ func main() {
 			fmt.Printf("%4d  %8d  %4d%s\n", i, d.Value, d.Time, status)
 		}
 	}
-	task := setconsensus.Task{K: p.K, Uniform: uniform}
-	if err := setconsensus.Verify(res, task); err != nil {
+	if res.Bits != nil {
+		fmt.Printf("\nbandwidth: max %d bits on any link, %d bits total\n", res.Bits.MaxPair, res.Bits.Total)
+	}
+	task := spec.Task(degree)
+	if err := res.Verify(task); err != nil {
 		fmt.Printf("\nverification: FAILED: %v\n", err)
 		os.Exit(1)
 	}
@@ -145,31 +187,4 @@ func applyCrash(b *setconsensus.Builder, spec string, n int) error {
 		b.CrashSendingTo(p, r, rs...)
 	}
 	return nil
-}
-
-func buildProtocol(name string, p setconsensus.Params) (setconsensus.Protocol, bool, error) {
-	switch strings.ToLower(name) {
-	case "optmin":
-		proto, err := setconsensus.NewOptmin(p)
-		return proto, false, err
-	case "upmin":
-		proto, err := setconsensus.NewUPmin(p)
-		return proto, true, err
-	case "floodmin":
-		proto, err := setconsensus.NewBaseline(setconsensus.FloodMin, p)
-		return proto, true, err
-	case "earlycount":
-		proto, err := setconsensus.NewBaseline(setconsensus.EarlyCount, p)
-		return proto, false, err
-	case "u-earlycount":
-		proto, err := setconsensus.NewBaseline(setconsensus.UEarlyCount, p)
-		return proto, true, err
-	case "perround":
-		proto, err := setconsensus.NewBaseline(setconsensus.PerRound, p)
-		return proto, false, err
-	case "u-perround":
-		proto, err := setconsensus.NewBaseline(setconsensus.UPerRound, p)
-		return proto, true, err
-	}
-	return nil, false, fmt.Errorf("unknown protocol %q", name)
 }

@@ -67,28 +67,35 @@ func TestBuildAdversaryErrors(t *testing.T) {
 	}
 }
 
-func TestBuildProtocolAllNames(t *testing.T) {
+// TestRegistryResolvesAllCLINames pins the CLI's protocol surface: every
+// historical -protocol value resolves in the registry with the right
+// uniformity, and constructs.
+func TestRegistryResolvesAllCLINames(t *testing.T) {
 	p := setconsensus.Params{N: 4, T: 2, K: 2}
 	uniformByName := map[string]bool{
 		"optmin": false, "upmin": true, "floodmin": true,
 		"earlycount": false, "u-earlycount": true, "perround": false, "u-perround": true,
 	}
 	for name, wantUniform := range uniformByName {
-		proto, uniform, err := buildProtocol(name, p)
+		spec, err := setconsensus.LookupProtocol(name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if uniform != wantUniform {
-			t.Errorf("%s: uniform=%v", name, uniform)
+		if spec.Uniform != wantUniform {
+			t.Errorf("%s: uniform=%v", name, spec.Uniform)
+		}
+		proto, err := spec.New(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
 		}
 		if proto.Name() == "" {
 			t.Errorf("%s: empty protocol name", name)
 		}
 	}
-	if _, _, err := buildProtocol("nonsense", p); err == nil {
+	if _, err := setconsensus.LookupProtocol("nonsense"); err == nil {
 		t.Error("unknown protocol must error")
 	}
-	if _, _, err := buildProtocol("OPTMIN", p); err != nil {
+	if _, err := setconsensus.LookupProtocol("OPTMIN"); err != nil {
 		t.Error("protocol lookup should be case-insensitive")
 	}
 	if !strings.Contains(strings.ToLower("Optmin"), "optmin") {

@@ -11,12 +11,68 @@
 // protocol complexes, star-complex connectivity), the Appendix E compact
 // wire protocol, and a goroutine message-passing runtime.
 //
-// This package is the public facade; subsystems live under internal/ and
-// are re-exported here as needed by the examples and tools. Start with:
+// # Engine and Registry
 //
-//	adv := setconsensus.NewBuilder(5, 2).Input(0, 0).MustBuild()
-//	proto, _ := setconsensus.NewOptmin(setconsensus.Params{N: 5, T: 2, K: 2})
-//	res := setconsensus.Run(proto, adv)
+// The public API is the Engine facade: one context-aware entry point over
+// all three execution backends. Protocols are resolved by name in a
+// Registry — no consumer switches on protocol names — and every run
+// returns the same JSON-marshalable Result regardless of backend:
+//
+//	adv := setconsensus.NewBuilder(6, 2).Input(0, 0).MustBuild()
+//	eng := setconsensus.New(
+//		setconsensus.WithCrashBound(3),
+//		setconsensus.WithDegree(2),
+//	)
+//	res, err := eng.Run(ctx, "optmin", adv)       // one protocol, one adversary
+//	err = res.Verify(setconsensus.Task{K: 2})
+//
+// Batch workloads — the all-protocols-vs-all-adversaries comparisons that
+// unbeatability is defined by — go through Engine.Sweep, which fans the
+// cross product out over a worker pool, shares a single knowledge graph
+// per adversary across all protocols, honors context cancellation, and
+// can stream results as they finish:
+//
+//	results, err := eng.Sweep(ctx, setconsensus.Protocols(), advs)
+//	err = eng.SweepStream(ctx, refs, advs, func(r *setconsensus.Result) { ... })
+//
+// The three backends (selected with WithBackend) are:
+//
+//	Oracle      the deterministic full-information simulator — the
+//	            reference semantics (internal/sim)
+//	Goroutines  one goroutine per process, channels as links, a router
+//	            applying the failure pattern (internal/runtime)
+//	Wire        the Appendix E compact protocol with per-link bit
+//	            accounting (internal/wire)
+//
+// All three agree bit for bit on decisions; the equivalence is asserted
+// by the engine tests and demonstrated by examples/messagepassing.
+//
+// # Options
+//
+// New applies functional options over DefaultEngineParams; EngineParams
+// .Validate rejects out-of-range values and the error is returned by
+// every Run/Sweep on the misconfigured engine. The defaults:
+//
+//	Option            default  meaning
+//	WithBackend       Oracle   execution backend (Oracle | Goroutines | Wire)
+//	WithCrashBound    -1       crash bound t; -1 means n−1 per adversary
+//	WithDegree        1        coordination degree k (1 = consensus)
+//	WithHorizon       0        0 = each protocol's registered worst case (override: Oracle only)
+//	WithGraphCache    64       cached knowledge graphs; 0 disables
+//	WithParallelism   NumCPU   Sweep worker-pool size
+//	WithRegistry      default  protocol name resolution
+//
+// The Registry ships with every protocol in the repository — "optmin",
+// "upmin", their k=1 specializations "opt0" and "uopt0", and the five
+// literature baselines "floodmin", "earlycount", "u-earlycount",
+// "perround", "u-perround" — each with metadata (uniform task or not,
+// worst-case decision time, wire capability). Register adds custom
+// protocols, on the default registry or a private one passed via
+// WithRegistry.
+//
+// Lower-level constructors (NewOptmin, NewBaseline, Run, NewGraph, …)
+// remain exported for single-shot use and for the analysis tooling
+// (certificates, searches, topology).
 //
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for the

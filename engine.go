@@ -1,0 +1,270 @@
+package setconsensus
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"setconsensus/internal/knowledge"
+	"setconsensus/internal/model"
+)
+
+// Engine is the context-aware entry point to every execution backend. It
+// resolves protocols by name through a Registry, runs them on the
+// configured Backend, shares and caches knowledge graphs, and batches
+// whole protocol × adversary sweeps over a worker pool.
+//
+//	eng := setconsensus.New(setconsensus.WithDegree(2), setconsensus.WithCrashBound(3))
+//	res, err := eng.Run(ctx, "optmin", adv)
+//	results, err := eng.Sweep(ctx, []string{"optmin", "upmin", "floodmin"}, advs)
+type Engine struct {
+	params  EngineParams
+	reg     *Registry
+	backend Backend
+	err     error // construction error, surfaced by every call
+
+	mu         sync.Mutex
+	graphs     map[graphKey]*knowledge.Graph
+	graphOrder []graphKey // FIFO eviction
+}
+
+type graphKey struct {
+	adv     *model.Adversary
+	horizon int
+}
+
+// New builds an Engine from the defaults plus the given options. Invalid
+// configurations are not lost: every Run/Sweep on a misconfigured engine
+// returns the validation error.
+func New(opts ...Option) *Engine {
+	cfg := engineConfig{params: DefaultEngineParams(), reg: DefaultRegistry()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	e := &Engine{params: cfg.params, reg: cfg.reg, graphs: make(map[graphKey]*knowledge.Graph)}
+	if cfg.reg == nil {
+		e.err = fmt.Errorf("engine: nil registry")
+		return e
+	}
+	if err := cfg.params.Validate(); err != nil {
+		e.err = err
+		return e
+	}
+	e.backend, e.err = backendFor(cfg.params.Backend)
+	return e
+}
+
+// Params returns the engine's validated configuration.
+func (e *Engine) Params() EngineParams { return e.params }
+
+// Registry returns the registry the engine resolves protocol names in.
+func (e *Engine) Registry() *Registry { return e.reg }
+
+// runParams completes the per-run protocol parameters: n comes from the
+// adversary, t and k from the engine configuration (t = n−1 when unset).
+func (e *Engine) runParams(adv *model.Adversary) (Params, error) {
+	if adv == nil {
+		return Params{}, fmt.Errorf("engine: nil adversary")
+	}
+	t := e.params.T
+	if t < 0 {
+		t = adv.N() - 1
+	}
+	p := Params{N: adv.N(), T: t, K: e.params.K}
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
+// horizonFor picks the simulation horizon for a set of protocols on one
+// parameterization: the engine override if set, otherwise the largest
+// registered worst-case decision time.
+func (e *Engine) horizonFor(specs []*ProtocolSpec, p Params) int {
+	if e.params.Horizon > 0 {
+		return e.params.Horizon
+	}
+	h := 0
+	for _, s := range specs {
+		if wc := s.WorstCaseTime(p); wc > h {
+			h = wc
+		}
+	}
+	return h
+}
+
+// graphFor returns the knowledge graph of adv at horizon, from the cache
+// when possible. Graphs are immutable after construction, so sharing is
+// safe across goroutines.
+func (e *Engine) graphFor(adv *model.Adversary, horizon int) *knowledge.Graph {
+	if e.params.GraphCache == 0 {
+		return knowledge.New(adv, horizon)
+	}
+	key := graphKey{adv, horizon}
+	e.mu.Lock()
+	if g, ok := e.graphs[key]; ok {
+		e.mu.Unlock()
+		return g
+	}
+	e.mu.Unlock()
+	g := knowledge.New(adv, horizon)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cached, ok := e.graphs[key]; ok {
+		return cached // another goroutine won the race; keep one copy
+	}
+	for len(e.graphOrder) >= e.params.GraphCache {
+		oldest := e.graphOrder[0]
+		e.graphOrder = e.graphOrder[1:]
+		delete(e.graphs, oldest)
+	}
+	e.graphs[key] = g
+	e.graphOrder = append(e.graphOrder, key)
+	return g
+}
+
+// CachedGraphs reports how many knowledge graphs the engine currently
+// holds.
+func (e *Engine) CachedGraphs() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.graphs)
+}
+
+// Run resolves ref in the registry and executes it against adv on the
+// configured backend.
+func (e *Engine) Run(ctx context.Context, ref string, adv *Adversary) (*Result, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	spec, err := e.reg.Lookup(ref)
+	if err != nil {
+		return nil, err
+	}
+	p, err := e.runParams(adv)
+	if err != nil {
+		return nil, err
+	}
+	var g *knowledge.Graph
+	if e.backend.NeedsGraph() {
+		g = e.graphFor(adv, e.horizonFor([]*ProtocolSpec{spec}, p))
+	}
+	return e.backend.Run(ctx, ref, spec, p, adv, g)
+}
+
+// Sweep runs every named protocol against every adversary and returns
+// the results in deterministic order: adversary-major, protocol-minor
+// (results[a*len(refs)+p]). Adversaries are distributed over a worker
+// pool of the configured parallelism; within one adversary all protocols
+// share a single knowledge graph. The first error (including context
+// cancellation) aborts the sweep.
+func (e *Engine) Sweep(ctx context.Context, refs []string, advs []*Adversary) ([]*Result, error) {
+	results := make([]*Result, len(refs)*len(advs))
+	err := e.sweep(ctx, refs, advs, func(advIdx, refIdx int, r *Result) {
+		results[advIdx*len(refs)+refIdx] = r
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// SweepStream is Sweep with streaming delivery: emit is called once per
+// finished run, in completion order, from a single goroutine at a time.
+func (e *Engine) SweepStream(ctx context.Context, refs []string, advs []*Adversary, emit func(*Result)) error {
+	var mu sync.Mutex
+	return e.sweep(ctx, refs, advs, func(_, _ int, r *Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		emit(r)
+	})
+}
+
+// sweep is the shared batch executor behind Sweep and SweepStream.
+func (e *Engine) sweep(ctx context.Context, refs []string, advs []*Adversary, deliver func(advIdx, refIdx int, r *Result)) error {
+	if e.err != nil {
+		return e.err
+	}
+	if len(refs) == 0 {
+		return fmt.Errorf("engine: sweep with no protocols")
+	}
+	specs := make([]*ProtocolSpec, len(refs))
+	for i, ref := range refs {
+		spec, err := e.reg.Lookup(ref)
+		if err != nil {
+			return err
+		}
+		specs[i] = spec
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int)
+	workers := e.params.Parallelism
+	if workers > len(advs) {
+		workers = len(advs)
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for advIdx := range jobs {
+				if err := e.sweepOne(ctx, refs, specs, advs[advIdx], advIdx, deliver); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for a := range advs {
+		select {
+		case jobs <- a:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// sweepOne runs all protocols of a sweep against one adversary, sharing
+// one knowledge graph across them on graph-consuming backends.
+func (e *Engine) sweepOne(ctx context.Context, refs []string, specs []*ProtocolSpec, adv *Adversary, advIdx int, deliver func(advIdx, refIdx int, r *Result)) error {
+	p, err := e.runParams(adv)
+	if err != nil {
+		return err
+	}
+	var g *knowledge.Graph
+	if e.backend.NeedsGraph() {
+		g = e.graphFor(adv, e.horizonFor(specs, p))
+	}
+	for refIdx, spec := range specs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		res, err := e.backend.Run(ctx, refs[refIdx], spec, p, adv, g)
+		if err != nil {
+			return err
+		}
+		deliver(advIdx, refIdx, res)
+	}
+	return nil
+}

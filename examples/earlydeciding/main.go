@@ -1,10 +1,13 @@
 // Early deciding: the paper's headline separation (Fig. 4). On the
 // collapse family, u-Pmin[k] decides at time 2 while every known
 // early-deciding protocol from the literature waits ⌊t/k⌋+1 rounds —
-// a margin that grows without bound in t.
+// a margin that grows without bound in t. Each row is one Engine.Sweep:
+// all four protocols run against one adversary over a single shared
+// knowledge graph.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +16,7 @@ import (
 
 func main() {
 	k := 3
+	protocols := []string{"upmin", "floodmin", "u-earlycount", "u-perround"}
 	fmt.Printf("uniform %d-set consensus on the Fig. 4 collapse family\n\n", k)
 	fmt.Println("    t   u-Pmin   FloodMin   u-EarlyCount   u-PerRound   ⌊t/k⌋+1")
 	for _, r := range []int{2, 5, 9, 19, 39} {
@@ -22,25 +26,21 @@ func main() {
 			log.Fatal(err)
 		}
 		t := setconsensus.CollapseT(cp)
-		params := setconsensus.Params{N: adv.N(), T: t, K: k}
 
-		times := map[string]int{}
-		upmin, err := setconsensus.NewUPmin(params)
+		eng := setconsensus.New(
+			setconsensus.WithCrashBound(t),
+			setconsensus.WithDegree(k),
+		)
+		results, err := eng.Sweep(context.Background(), protocols, []*setconsensus.Adversary{adv})
 		if err != nil {
 			log.Fatal(err)
 		}
-		times["u-Pmin"] = setconsensus.Run(upmin, adv).MaxCorrectDecisionTime()
-		for _, kind := range []setconsensus.BaselineKind{
-			setconsensus.FloodMin, setconsensus.UEarlyCount, setconsensus.UPerRound,
-		} {
-			b, err := setconsensus.NewBaseline(kind, params)
-			if err != nil {
-				log.Fatal(err)
-			}
-			times[kind.String()] = setconsensus.Run(b, adv).MaxCorrectDecisionTime()
+		times := make([]int, len(results))
+		for i, res := range results {
+			times[i] = res.MaxCorrectTime
 		}
 		fmt.Printf("  %3d   %6d   %8d   %12d   %10d   %7d\n",
-			t, times["u-Pmin"], times["FloodMin"], times["u-EarlyCount"], times["u-PerRound"], t/k+1)
+			t, times[0], times[1], times[2], times[3], t/k+1)
 	}
 	fmt.Println("\nevery correct process discovers k new failures per round, so the")
 	fmt.Println("literature protocols cannot stop early — but the hidden capacity of")

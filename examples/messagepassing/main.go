@@ -1,18 +1,17 @@
-// Message passing: the Appendix E compact protocol on real goroutines and
-// channels — one goroutine per process, a router applying the failure
-// pattern, O(n log n) bits per link — cross-checked against the
-// full-information oracle.
+// Message passing: one protocol, three backends. The Engine facade runs
+// Optmin[k] on the full-information oracle, on real goroutines and
+// channels (one per process, a router applying the failure pattern), and
+// on the Appendix E compact wire protocol with O(n log n) bits per link —
+// and the decision tables agree bit for bit.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 
 	setconsensus "setconsensus"
-	"setconsensus/internal/core"
-	"setconsensus/internal/runtime"
-	"setconsensus/internal/wire"
 )
 
 func main() {
@@ -22,45 +21,52 @@ func main() {
 		log.Fatal(err)
 	}
 	t := setconsensus.CollapseT(cp)
-	params := core.Params{N: adv.N(), T: t, K: 2}
-
 	fmt.Printf("collapse family: n=%d, t=%d, k=2\n\n", adv.N(), t)
 
-	// Goroutine engine.
-	engRes, err := runtime.Run(wire.RuleOptmin, params, adv)
-	if err != nil {
-		log.Fatal(err)
+	// The same name resolves in the same registry on every backend; only
+	// the execution substrate changes.
+	ctx := context.Background()
+	results := make(map[setconsensus.BackendKind]*setconsensus.Result)
+	backends := []setconsensus.BackendKind{
+		setconsensus.Oracle, setconsensus.Goroutines, setconsensus.Wire,
 	}
-	// Oracle reference.
-	proto, err := setconsensus.NewOptmin(setconsensus.Params(params))
-	if err != nil {
-		log.Fatal(err)
-	}
-	oracle := setconsensus.Run(proto, adv)
-
-	fmt.Println("proc  engine    oracle")
-	for i := 0; i < adv.N(); i++ {
-		e, o := engRes.Decisions[i], oracle.Decisions[i]
-		es, os := "⊥", "⊥"
-		if e != nil {
-			es = fmt.Sprintf("%d@%d", e.Value, e.Time)
+	for _, bk := range backends {
+		eng := setconsensus.New(
+			setconsensus.WithBackend(bk),
+			setconsensus.WithCrashBound(t),
+			setconsensus.WithDegree(2),
+		)
+		res, err := eng.Run(ctx, "optmin", adv)
+		if err != nil {
+			log.Fatal(err)
 		}
-		if o != nil {
-			os = fmt.Sprintf("%d@%d", o.Value, o.Time)
+		results[bk] = res
+	}
+
+	fmt.Println("proc  oracle    goroutines  wire")
+	for i := 0; i < adv.N(); i++ {
+		cells := make([]string, len(backends))
+		agree := true
+		for b, bk := range backends {
+			if d := results[bk].Decisions[i]; d != nil {
+				cells[b] = fmt.Sprintf("%d@%d", d.Value, d.Time)
+			} else {
+				cells[b] = "⊥"
+			}
+			if cells[b] != cells[0] {
+				agree = false
+			}
 		}
 		marker := "✓"
-		if es != os {
+		if !agree {
 			marker = "✗ MISMATCH"
 		}
-		fmt.Printf("%4d  %-8s  %-8s %s\n", i, es, os, marker)
+		fmt.Printf("%4d  %-8s  %-10s  %-8s %s\n", i, cells[0], cells[1], cells[2], marker)
 	}
 
-	// Bandwidth accounting from the deterministic wire runner.
-	wres, err := setconsensus.RunWire(setconsensus.Params(params), adv)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Bandwidth accounting comes back on the wire backend's result.
+	bits := results[setconsensus.Wire].Bits
 	n := float64(adv.N())
 	fmt.Printf("\nmax bits on any link over the whole run: %d (n·log₂n = %.0f)\n",
-		wres.MaxPairBits(), n*math.Log2(n))
+		bits.MaxPair, n*math.Log2(n))
 }

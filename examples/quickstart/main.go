@@ -1,8 +1,10 @@
-// Quickstart: run the unbeatable Optmin[k] protocol on a small system,
-// inspect the knowledge that drives its decisions, and verify the task.
+// Quickstart: run the unbeatable Optmin[k] protocol on a small system
+// through the Engine facade, inspect the knowledge that drives its
+// decisions, and verify the task.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,14 +21,18 @@ func main() {
 		CrashSendingTo(5, 1, 4).
 		MustBuild()
 
-	params := setconsensus.Params{N: 6, T: 3, K: 2}
-	proto, err := setconsensus.NewOptmin(params)
+	// The engine resolves protocols by name and defaults to the oracle
+	// backend; t and k are engine-level configuration, n comes from the
+	// adversary.
+	eng := setconsensus.New(
+		setconsensus.WithCrashBound(3),
+		setconsensus.WithDegree(2),
+	)
+	res, err := eng.Run(context.Background(), "optmin", adv)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	res := setconsensus.Run(proto, adv)
-	fmt.Printf("run of %s on %s\n\n", proto.Name(), adv)
+	fmt.Printf("run of %s on %s\n\n", res.Protocol, adv)
 	for i := 0; i < adv.N(); i++ {
 		if d := res.Decisions[i]; d != nil {
 			fmt.Printf("  process %d decides %d at time %d\n", i, d.Value, d.Time)
@@ -35,15 +41,17 @@ func main() {
 		}
 	}
 
-	// Why did process 1 decide when it did? Ask the knowledge graph.
-	g := res.Graph
-	fmt.Printf("\nknowledge of process 1 over time (k = %d):\n", params.K)
+	// Why did process 1 decide when it did? Ask the knowledge graph the
+	// oracle backend consulted.
+	g := res.KnowledgeGraph()
+	k := res.Params.K
+	fmt.Printf("\nknowledge of process 1 over time (k = %d):\n", k)
 	for m := 0; m <= 2; m++ {
 		fmt.Printf("  t=%d: Min=%d low=%v HC=%d\n",
-			m, g.Min(1, m), g.Low(1, m, params.K), g.HiddenCapacity(1, m))
+			m, g.Min(1, m), g.Low(1, m, k), g.HiddenCapacity(1, m))
 	}
 
-	if err := setconsensus.Verify(res, setconsensus.Task{K: 2}); err != nil {
+	if err := res.Verify(setconsensus.Task{K: 2}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nnonuniform 2-set consensus verified ✓")

@@ -11,14 +11,13 @@ import (
 	"math/rand"
 
 	setconsensus "setconsensus"
-	"setconsensus/internal/topology"
 )
 
 func main() {
 	// Part 1: Div σ and Sperner's lemma for k = 1, 2, 3.
 	rng := rand.New(rand.NewSource(2016))
 	for k := 1; k <= 3; k++ {
-		s, err := topology.DivK(k)
+		s, err := setconsensus.DivK(k)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,9 +9,6 @@ import (
 	"log"
 
 	setconsensus "setconsensus"
-	"setconsensus/internal/core"
-	"setconsensus/internal/enum"
-	"setconsensus/internal/unbeat"
 )
 
 func main() {
@@ -39,13 +36,16 @@ func main() {
 	}
 	fmt.Printf("  %d undecided nodes, all certified: no dominating protocol decides at any of them\n\n", certified)
 
-	// Part 2: exhaustive deviation search for binary consensus, n=3.
-	rep, err := unbeat.Search(
-		core.MustOptmin(core.Params{N: 3, T: 2, K: 1}),
-		unbeat.SearchParams{
-			Space: enum.Space{N: 3, T: 2, MaxRound: 3, Values: []int{0, 1}},
-			K:     1, T: 2, Width: 2,
-		})
+	// Part 2: exhaustive deviation search for binary consensus, n=3. The
+	// base protocol comes out of the registry by name.
+	base, err := setconsensus.NewProtocol("optmin", setconsensus.Params{N: 3, T: 2, K: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := setconsensus.Search(base, setconsensus.SearchParams{
+		Space: setconsensus.Space{N: 3, T: 2, MaxRound: 3, Values: []int{0, 1}},
+		K:     1, T: 2, Width: 2,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,51 @@
+package setconsensus_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesBuildAndRun smoke-tests every examples/ binary: each must
+// build and run to completion without error output. The examples are the
+// documented entry points to the Engine/Registry facade, so a compile
+// break or runtime failure there is an API regression.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no examples found")
+	}
+	binDir := t.TempDir()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(binDir, name)
+			build := exec.Command("go", "build", "-o", bin, "./"+filepath.Join("examples", name))
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			run := exec.CommandContext(ctx, bin)
+			out, err := run.CombinedOutput()
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Fatal("example produced no output")
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module setconsensus
+
+go 1.24

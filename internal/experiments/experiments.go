@@ -168,11 +168,14 @@ func E4Separation() (*Table, error) {
 		if cfg.low {
 			variant = "low"
 		}
-		upmin := sim.Run(core.MustUPmin(params), adv).MaxCorrectDecisionTime()
-		optmin := sim.Run(core.MustOptmin(params), adv).MaxCorrectDecisionTime()
-		flood := sim.Run(baseline.Must(baseline.FloodMin, params), adv).MaxCorrectDecisionTime()
-		uec := sim.Run(baseline.Must(baseline.UEarlyCount, params), adv).MaxCorrectDecisionTime()
-		upr := sim.Run(baseline.Must(baseline.UPerRound, params), adv).MaxCorrectDecisionTime()
+		// One knowledge graph serves all five protocols: they share the
+		// worst-case horizon ⌊t/k⌋+1.
+		g := knowledge.New(adv, params.T/params.K+1)
+		upmin := sim.RunWithGraph(core.MustUPmin(params), g).MaxCorrectDecisionTime()
+		optmin := sim.RunWithGraph(core.MustOptmin(params), g).MaxCorrectDecisionTime()
+		flood := sim.RunWithGraph(baseline.Must(baseline.FloodMin, params), g).MaxCorrectDecisionTime()
+		uec := sim.RunWithGraph(baseline.Must(baseline.UEarlyCount, params), g).MaxCorrectDecisionTime()
+		upr := sim.RunWithGraph(baseline.Must(baseline.UPerRound, params), g).MaxCorrectDecisionTime()
 		t.AddRow(cfg.k, tb, variant, upmin, optmin, flood, uec, upr, tb/cfg.k+1)
 
 		wantU := 2
@@ -249,8 +252,9 @@ func E6Bounds() (*Table, error) {
 		for trial := 0; trial < 500; trial++ {
 			adv := model.Random(rng, model.RandomParams{N: cfg.n, T: cfg.tb, MaxValue: cfg.k, MaxRound: cfg.tb})
 			f := adv.Pattern.NumFailures()
-			oRes := sim.Run(core.MustOptmin(params), adv)
-			uRes := sim.Run(core.MustUPmin(params), adv)
+			g := knowledge.New(adv, params.T/params.K+1)
+			oRes := sim.RunWithGraph(core.MustOptmin(params), g)
+			uRes := sim.RunWithGraph(core.MustUPmin(params), g)
 			oT, uT := oRes.MaxCorrectDecisionTime(), uRes.MaxCorrectDecisionTime()
 			oB, uB := f/cfg.k+1, min(cfg.tb/cfg.k+1, f/cfg.k+2)
 			if oT > maxOpt {

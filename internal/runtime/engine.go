@@ -16,6 +16,10 @@ import (
 	"setconsensus/internal/wire"
 )
 
+// encodePayload serializes a round's outbox. It is a variable so the
+// corrupt-payload error path can be exercised by tests.
+var encodePayload = wire.Encode
+
 // Inbound is one received message.
 type Inbound struct {
 	From    model.Proc
@@ -48,6 +52,7 @@ type process struct {
 
 	decided  bool
 	decision *Decision
+	err      error
 }
 
 func (pr *process) snapshot() {
@@ -131,19 +136,26 @@ func Run(rule wire.Rule, p core.Params, adv *model.Adversary) (*Result, error) {
 					continue
 				}
 				pr.snapshot()
-				outCh <- outMsg{from: pr.id, payload: wire.Encode(pr.state.Outbox())}
+				outCh <- outMsg{from: pr.id, payload: encodePayload(pr.state.Outbox())}
 				msgs := <-inCh[pr.id]
-				if adv.Pattern.Active(pr.id, m) {
+				// A decode failure poisons this process but must not stop
+				// it from draining barriers: the router and the other
+				// goroutines would deadlock otherwise. The first error is
+				// threaded back through Run's error return.
+				if adv.Pattern.Active(pr.id, m) && pr.err == nil {
 					inbound := make([]wire.Message, 0, len(msgs))
 					for _, im := range msgs {
 						facts, err := wire.Decode(im.Payload)
 						if err != nil {
-							panic(fmt.Sprintf("runtime: corrupt payload from %d: %v", im.From, err))
+							pr.err = fmt.Errorf("runtime: corrupt payload from %d in round %d: %w", im.From, m, err)
+							break
 						}
 						inbound = append(inbound, wire.Message{From: im.From, Round: m, Facts: facts})
 					}
-					pr.state.Deliver(m, inbound)
-					pr.maybeDecide(m)
+					if pr.err == nil {
+						pr.state.Deliver(m, inbound)
+						pr.maybeDecide(m)
+					}
 				}
 				<-barrier[pr.id]
 			}
@@ -183,6 +195,9 @@ func Run(rule wire.Rule, p core.Params, adv *model.Adversary) (*Result, error) {
 	<-routerDone
 	res := &Result{Decisions: make([]*Decision, n)}
 	for i, pr := range procs {
+		if pr.err != nil {
+			return nil, pr.err
+		}
 		res.Decisions[i] = pr.decision
 	}
 	return res, nil

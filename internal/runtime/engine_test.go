@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"setconsensus/internal/core"
@@ -113,5 +114,19 @@ func BenchmarkEngineCollapse(b *testing.B) {
 		if _, err := Run(wire.RuleOptmin, p, adv); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestEngineCorruptPayloadError(t *testing.T) {
+	defer func() { encodePayload = wire.Encode }()
+	// A count of 1 with no fact triples fails Decode as truncated.
+	encodePayload = func([]wire.Fact) []byte { return []byte{1} }
+	adv := model.NewBuilder(4, 1).Input(0, 0).MustBuild()
+	res, err := Run(wire.RuleOptmin, core.Params{N: 4, T: 2, K: 1}, adv)
+	if err == nil {
+		t.Fatalf("corrupt payload must surface as an error, got result %+v", res)
+	}
+	if !strings.Contains(err.Error(), "corrupt payload") {
+		t.Fatalf("unexpected error: %v", err)
 	}
 }

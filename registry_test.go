@@ -1,0 +1,126 @@
+package setconsensus_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	setconsensus "setconsensus"
+)
+
+func TestRegistryLookupNamesAliasesCase(t *testing.T) {
+	reg := setconsensus.DefaultRegistry()
+	for _, name := range []string{"optmin", "OPTMIN", "pmin", "upmin", "u-pmin", "u-earlycount", "uearlycount"} {
+		if _, err := reg.Lookup(name); err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+		}
+	}
+	if _, err := reg.Lookup("no-such-protocol"); err == nil {
+		t.Error("unknown name must error")
+	} else if !strings.Contains(err.Error(), "known:") {
+		t.Errorf("unknown-name error should list known protocols, got: %v", err)
+	}
+	names := reg.Names()
+	if len(names) != 9 {
+		t.Fatalf("expected 9 built-in protocols, got %d: %v", len(names), names)
+	}
+	if names[0] != "optmin" {
+		t.Errorf("registration order lost: %v", names)
+	}
+}
+
+func TestRegistryMetadata(t *testing.T) {
+	p := setconsensus.Params{N: 5, T: 3, K: 1}
+	for _, c := range []struct {
+		name       string
+		uniform    bool
+		wire       bool
+		unbeatable bool
+	}{
+		{"optmin", false, true, true},
+		{"upmin", true, true, true},
+		{"opt0", false, true, true},
+		{"uopt0", true, true, true},
+		{"floodmin", true, false, false},
+		{"earlycount", false, false, false},
+		{"u-earlycount", true, false, false},
+		{"perround", false, false, false},
+		{"u-perround", true, false, false},
+	} {
+		spec, err := setconsensus.LookupProtocol(c.name)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if spec.Uniform != c.uniform || spec.WireCapable() != c.wire || spec.Unbeatable != c.unbeatable {
+			t.Errorf("%s: uniform=%v wire=%v unbeatable=%v", c.name, spec.Uniform, spec.WireCapable(), spec.Unbeatable)
+		}
+		if wc := spec.WorstCaseTime(p); wc != p.T/p.K+1 {
+			t.Errorf("%s: worst case %d, want %d", c.name, wc, p.T/p.K+1)
+		}
+		if task := spec.Task(2); task.Uniform != c.uniform || task.K != 2 {
+			t.Errorf("%s: task %v", c.name, task)
+		}
+		proto, err := spec.New(p)
+		if err != nil {
+			t.Fatalf("%s: construct: %v", c.name, err)
+		}
+		if proto.Name() == "" {
+			t.Errorf("%s: empty runtime name", c.name)
+		}
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndBadSpecs(t *testing.T) {
+	reg := setconsensus.NewRegistry()
+	spec := setconsensus.ProtocolSpec{
+		Name:          "demo",
+		Aliases:       []string{"demo2"},
+		WorstCaseTime: func(p setconsensus.Params) int { return p.T + 1 },
+		New: func(p setconsensus.Params) (setconsensus.Protocol, error) {
+			return setconsensus.NewOptmin(p)
+		},
+	}
+	if err := reg.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(spec); err == nil {
+		t.Error("duplicate name must be rejected")
+	}
+	dup := spec
+	dup.Name = "demo2" // collides with the alias
+	if err := reg.Register(dup); err == nil {
+		t.Error("name colliding with alias must be rejected")
+	}
+	var bad setconsensus.ProtocolSpec
+	if err := reg.Register(bad); err == nil {
+		t.Error("empty spec must be rejected")
+	}
+	bad.Name = "x"
+	if err := reg.Register(bad); err == nil {
+		t.Error("spec without constructor must be rejected")
+	}
+}
+
+func TestEngineWithCustomRegistry(t *testing.T) {
+	reg := setconsensus.NewRegistry()
+	reg.MustRegister(setconsensus.ProtocolSpec{
+		Name:          "myoptmin",
+		WorstCaseTime: func(p setconsensus.Params) int { return p.T/p.K + 1 },
+		New: func(p setconsensus.Params) (setconsensus.Protocol, error) {
+			return setconsensus.NewOptmin(p)
+		},
+	})
+	eng := setconsensus.New(setconsensus.WithRegistry(reg), setconsensus.WithDegree(2), setconsensus.WithCrashBound(2))
+	adv := setconsensus.NewBuilder(5, 2).Input(0, 0).MustBuild()
+	res, err := eng.Run(context.Background(), "myoptmin", adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol != "Optmin[2]" || res.Ref != "myoptmin" {
+		t.Errorf("protocol=%q ref=%q", res.Protocol, res.Ref)
+	}
+	// The default registry's names are not visible through this engine.
+	if _, err := eng.Run(context.Background(), "floodmin", adv); err == nil {
+		t.Error("custom registry must not resolve default names")
+	}
+}
