@@ -1,0 +1,77 @@
+package setconsensus
+
+import (
+	"fmt"
+	"sync"
+
+	"setconsensus/internal/agg"
+	"setconsensus/internal/experiments"
+)
+
+// Aggregator folds streamed Results into a constant-memory Summary:
+// per-protocol decision-time histograms, undecided and task-violation
+// counts, and wire-bit totals. Engine.SweepSource drives one internally;
+// build one explicitly to aggregate SweepStream or hand-run Results. Add
+// is safe for concurrent use.
+type Aggregator struct {
+	mu    sync.Mutex
+	sum   *agg.Summary
+	tasks map[string]Task
+}
+
+// NewAggregator builds an aggregator for the named protocols, verifying
+// every run against the task its protocol claims to solve at the
+// engine's degree. The workload label captions the summary. Duplicate
+// refs are rejected: the summary keys rows by ref, so a repeated ref
+// would fold two runs per adversary into one row and skew every count.
+func (e *Engine) NewAggregator(workload string, refs []string) (*Aggregator, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	tasks := make(map[string]Task, len(refs))
+	for _, ref := range refs {
+		if _, dup := tasks[ref]; dup {
+			return nil, fmt.Errorf("engine: duplicate protocol %q in aggregated sweep", ref)
+		}
+		spec, err := e.reg.Lookup(ref)
+		if err != nil {
+			return nil, err
+		}
+		tasks[ref] = spec.Task(e.params.K)
+	}
+	return &Aggregator{sum: agg.New(workload, refs), tasks: tasks}, nil
+}
+
+// Add folds one run into the summary. Results whose Ref the aggregator
+// was not built for are counted against nothing and ignored. Runs where
+// a correct process never decided land in the Undecided column only;
+// Violations counts validity and k-agreement failures among runs that
+// did decide.
+func (a *Aggregator) Add(r *Result) {
+	o := agg.Obs{Time: r.MaxCorrectTime}
+	if task, ok := a.tasks[r.Ref]; ok && r.MaxCorrectTime >= 0 {
+		o.Violation = r.Verify(task) != nil
+	}
+	if r.Bits != nil {
+		o.Bits = int64(r.Bits.Total)
+		o.MaxPairBits = r.Bits.MaxPair
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_ = a.sum.Observe(r.Ref, o)
+}
+
+// Summary returns a deep-copy snapshot of the aggregate so far.
+func (a *Aggregator) Summary() *Summary {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sum.Clone()
+}
+
+// Table renders the current aggregate in the experiment table format.
+func (a *Aggregator) Table() *ExperimentTable {
+	return experiments.SweepTable(a.Summary())
+}
+
+// SummaryTable renders a Summary in the experiment table format.
+func SummaryTable(s *Summary) *ExperimentTable { return experiments.SweepTable(s) }

@@ -1,6 +1,7 @@
 package setconsensus
 
 import (
+	"setconsensus/internal/agg"
 	"setconsensus/internal/baseline"
 	"setconsensus/internal/check"
 	"setconsensus/internal/core"
@@ -44,6 +45,15 @@ type (
 	// Space enumerates an exhaustive adversary space (n, t, rounds,
 	// values) for searches and conformance sweeps.
 	Space = enum.Space
+	// RandomParams bounds the seeded random adversary sampler behind the
+	// "random" workload.
+	RandomParams = model.RandomParams
+	// Summary is the constant-memory aggregate of a streamed sweep:
+	// per-protocol decision-time histograms, undecided and
+	// agreement-violation counts, and wire-bit totals.
+	Summary = agg.Summary
+	// ProtocolSummary is one protocol's row of a Summary.
+	ProtocolSummary = agg.ProtocolSummary
 	// SearchParams configures the bounded protocol-space search of
 	// internal/unbeat.
 	SearchParams = unbeat.SearchParams

@@ -171,6 +171,55 @@ func BenchmarkSweepNaivePerRunGraphs(b *testing.B) {
 	}
 }
 
+// Source-vs-slice ablation: the same exhaustive space swept through the
+// same protocols, once materialized into a slice for Sweep and once
+// streamed through SweepSource. The pair is the acceptance gate that the
+// constant-memory streaming path costs no throughput.
+var sweepSpaceRefs = []string{"optmin", "upmin"}
+
+func sweepSpace() setconsensus.Space {
+	return setconsensus.Space{N: 3, T: 2, MaxRound: 2, Values: []int{0, 1}}
+}
+
+func sweepSpaceEngine() *setconsensus.Engine {
+	// Cache off: both paths pay one fresh graph per adversary, so the
+	// comparison isolates the delivery machinery.
+	return setconsensus.New(
+		setconsensus.WithCrashBound(2),
+		setconsensus.WithGraphCache(0),
+	)
+}
+
+func BenchmarkSweepSlice(b *testing.B) {
+	advs, err := sweepSpace().Adversaries()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sweepSpaceEngine()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Sweep(ctx, sweepSpaceRefs, advs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepSource(b *testing.B) {
+	src, err := setconsensus.SpaceSource(sweepSpace())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sweepSpaceEngine()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SweepSource(ctx, sweepSpaceRefs, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSweepCachedGraphs(b *testing.B) {
 	adv, tb := sweepAdversary(b)
 	// Cache on: after the first iteration the graph is a map hit.

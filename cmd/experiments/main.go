@@ -1,12 +1,18 @@
 // Command experiments regenerates the paper-reproduction tables E1–E10
 // (one per figure/theorem; see DESIGN.md §4 and EXPERIMENTS.md) through
-// the library facade.
+// the library facade, and runs ad-hoc workload sweeps in the same table
+// format.
 //
 // Usage:
 //
-//	experiments             # run everything
-//	experiments -id E4      # run one experiment
-//	experiments -list       # list experiment ids and titles
+//	experiments                  # run everything
+//	experiments -id E4           # run one experiment
+//	experiments -list            # list experiment ids and titles
+//
+//	# Ad-hoc sweep: stream a named workload through named protocols and
+//	# print the online-aggregated summary table.
+//	experiments -workload "collapse:k=3,r=2..8" -protocols upmin,floodmin -k 3
+//	experiments -workload "space:n=4,t=2,r=2,v=0..1" -protocols optmin -t 2
 package main
 
 import (
@@ -15,12 +21,26 @@ import (
 	"os"
 
 	setconsensus "setconsensus"
+	"setconsensus/internal/cli"
 )
 
 func main() {
 	id := flag.String("id", "", "experiment id (E1..E10); empty runs all")
 	list := flag.Bool("list", false, "list experiments and exit")
+	workload := flag.String("workload", "", "sweep a named workload instead of running E1..E10 (see setconsensus -list-workloads)")
+	protocols := flag.String("protocols", "optmin,upmin", "comma-separated protocols for -workload sweeps")
+	backendName := flag.String("backend", "oracle", "execution backend for -workload sweeps")
+	k := flag.Int("k", 1, "coordination degree k for -workload sweeps")
+	t := flag.Int("t", -1, "crash bound t for -workload sweeps (default: each adversary's failure count)")
 	flag.Parse()
+
+	if *workload != "" {
+		if err := sweep(*workload, *protocols, *backendName, *k, *t); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ids := setconsensus.ExperimentIDs()
 	if *id != "" {
@@ -38,4 +58,21 @@ func main() {
 		}
 		fmt.Println(tbl.Render())
 	}
+}
+
+// sweep streams the workload through the protocols and prints the
+// summary in the experiment table format.
+func sweep(workload, protocols, backendName string, k, t int) error {
+	backend, err := setconsensus.ParseBackend(backendName)
+	if err != nil {
+		return err
+	}
+	sum, err := cli.SweepWorkload(os.Stdout, workload, cli.SplitList(protocols), backend, k, t)
+	if err != nil {
+		return err
+	}
+	if v, u := sum.Violations(), sum.Undecided(); v > 0 || u > 0 {
+		return fmt.Errorf("%d task verification failures, %d undecided runs", v, u)
+	}
+	return nil
 }

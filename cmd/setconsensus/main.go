@@ -1,11 +1,14 @@
-// Command setconsensus runs a k-set consensus protocol against an
-// adversary described on the command line and prints the decision table.
+// Command setconsensus runs k-set consensus protocols against a single
+// adversary described on the command line, or against a whole named
+// workload, and prints the decision table or the sweep summary.
 //
 // Protocols are resolved by name in the library's Registry — run with
 // -list to see every registered protocol — and executed through the
 // Engine facade on any of the three backends: the full-information
 // oracle simulator (default), the goroutine message-passing engine, or
-// the compact wire protocol with bit accounting.
+// the compact wire protocol with bit accounting. Workloads are resolved
+// the same way in the WorkloadRegistry (-list-workloads), so adversary
+// families are named, not hand-rolled.
 //
 // Examples:
 //
@@ -13,15 +16,19 @@
 //	# round-1 crash of process 1:
 //	setconsensus -protocol optmin -k 2 -t 3 -inputs 0,2,2,2,2,2 -crash "1@1:"
 //
-//	# u-Pmin[3] on the Fig. 4 collapse family with R=4:
-//	setconsensus -protocol upmin -collapse-k 3 -collapse-r 4
+//	# Sweep three protocols over the Fig. 4 collapse family, R = 2..6:
+//	setconsensus -protocol upmin,optmin,floodmin -k 3 -workload "collapse:k=3,r=2..6"
 //
-//	# The same run on the compact wire backend, with bandwidth stats:
-//	setconsensus -protocol upmin -collapse-k 3 -collapse-r 4 -backend wire
+//	# Exhaustive conformance sweep, streamed in constant memory:
+//	setconsensus -protocol optmin -t 2 -workload "space:n=4,t=2,r=2,v=0..1"
+//
+//	# The compact wire backend with bandwidth stats:
+//	setconsensus -protocol upmin -k 3 -workload "collapse:k=3" -backend wire
 //
 // Crash syntax: "p@r:a,b" crashes process p in round r delivering only to
 // a and b; "p@r:" is a silent crash; "p@r:*" is a complete send. Multiple
-// crashes are separated by ';'.
+// crashes are separated by ';'. Workload syntax: "name" or
+// "name:key=val,...", where integer values may be ranges like "2..6".
 package main
 
 import (
@@ -33,18 +40,19 @@ import (
 	"strings"
 
 	setconsensus "setconsensus"
+	"setconsensus/internal/cli"
 )
 
 func main() {
-	protoName := flag.String("protocol", "optmin", "protocol name in the registry (see -list)")
+	protoNames := flag.String("protocol", "optmin", "comma-separated protocol names in the registry (see -list)")
 	backendName := flag.String("backend", "oracle", "execution backend: oracle | goroutines | wire")
 	k := flag.Int("k", 1, "coordination degree k")
-	t := flag.Int("t", -1, "crash bound t (default n−1)")
-	inputsFlag := flag.String("inputs", "", "comma-separated initial values")
-	crashFlag := flag.String("crash", "", "crash spec, e.g. \"1@1:2;3@2:*\"")
-	collapseK := flag.Int("collapse-k", 0, "build the Fig. 4 collapse family with this k instead of -inputs/-crash")
-	collapseR := flag.Int("collapse-r", 3, "collapse family crash rounds R")
+	t := flag.Int("t", -1, "crash bound t (single run: default n−1; workload sweeps: default each adversary's failure count)")
+	inputsFlag := flag.String("inputs", "", "comma-separated initial values (single-run mode)")
+	crashFlag := flag.String("crash", "", "crash spec, e.g. \"1@1:2;3@2:*\" (single-run mode)")
+	workload := flag.String("workload", "", "named workload to sweep, e.g. \"collapse:k=3,r=2..6\" (see -list-workloads)")
 	list := flag.Bool("list", false, "list registered protocols and exit")
+	listWorkloads := flag.Bool("list-workloads", false, "list registered workloads and exit")
 	flag.Parse()
 
 	if *list {
@@ -57,36 +65,73 @@ func main() {
 		}
 		return
 	}
+	if *listWorkloads {
+		for _, spec := range setconsensus.DefaultWorkloads().Specs() {
+			fmt.Printf("%-14s %s\n", spec.Name, spec.Summary)
+			fmt.Printf("%-14s   params: %s\n", "", spec.Params)
+		}
+		return
+	}
 
-	adv, tBound, err := buildAdversary(*inputsFlag, *crashFlag, *collapseK, *collapseR, *t)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	degree := *k
-	if *collapseK > 0 {
-		degree = *collapseK
-	}
 	backend, err := setconsensus.ParseBackend(*backendName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
 	}
-	spec, err := setconsensus.LookupProtocol(*protoName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	refs := cli.SplitList(*protoNames)
+	if len(refs) == 0 {
+		fatal(fmt.Errorf("need -protocol"))
 	}
 
+	if *workload != "" {
+		if *inputsFlag != "" || *crashFlag != "" {
+			fatal(fmt.Errorf("-workload and -inputs/-crash are mutually exclusive"))
+		}
+		sum, err := cli.SweepWorkload(os.Stdout, *workload, refs, backend, *k, *t)
+		if err != nil {
+			fatal(err)
+		}
+		// Same exit contract as single-run mode: 1 = task violation
+		// (including a correct process never deciding), 2 = bad
+		// invocation.
+		if v, u := sum.Violations(), sum.Undecided(); v > 0 || u > 0 {
+			fmt.Fprintf(os.Stderr, "verification: FAILED: %d task violations, %d undecided runs\n", v, u)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if len(refs) > 1 {
+		fatal(fmt.Errorf("single-run mode takes one -protocol (got %d); use -workload to sweep", len(refs)))
+	}
+	adv, tBound, err := buildAdversary(*inputsFlag, *crashFlag, *t)
+	if err != nil {
+		fatal(err)
+	}
+	if err := runSingle(refs[0], adv, backend, *k, tBound); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+// runSingle executes one protocol against one adversary and prints the
+// decision table.
+func runSingle(ref string, adv *setconsensus.Adversary, backend setconsensus.BackendKind, k, tBound int) error {
+	spec, err := setconsensus.LookupProtocol(ref)
+	if err != nil {
+		return err
+	}
 	eng := setconsensus.New(
 		setconsensus.WithBackend(backend),
 		setconsensus.WithCrashBound(tBound),
-		setconsensus.WithDegree(degree),
+		setconsensus.WithDegree(k),
 	)
 	res, err := eng.Run(context.Background(), spec.Name, adv)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
 	}
 
 	fmt.Printf("adversary: %s\n", adv)
@@ -108,22 +153,18 @@ func main() {
 	if res.Bits != nil {
 		fmt.Printf("\nbandwidth: max %d bits on any link, %d bits total\n", res.Bits.MaxPair, res.Bits.Total)
 	}
-	task := spec.Task(degree)
+	task := spec.Task(k)
 	if err := res.Verify(task); err != nil {
 		fmt.Printf("\nverification: FAILED: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("\nverification: %s satisfied\n", task)
+	return nil
 }
 
-func buildAdversary(inputs, crash string, collapseK, collapseR, t int) (*setconsensus.Adversary, int, error) {
-	if collapseK > 0 {
-		cp := setconsensus.CollapseParams{K: collapseK, R: collapseR, ExtraCorrect: collapseK + 2}
-		adv, err := setconsensus.Collapse(cp)
-		return adv, setconsensus.CollapseT(cp), err
-	}
+func buildAdversary(inputs, crash string, t int) (*setconsensus.Adversary, int, error) {
 	if inputs == "" {
-		return nil, 0, fmt.Errorf("need -inputs (or -collapse-k)")
+		return nil, 0, fmt.Errorf("need -inputs (or -workload)")
 	}
 	var vals []int
 	for _, f := range strings.Split(inputs, ",") {

@@ -1,14 +1,16 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 
 	setconsensus "setconsensus"
+	"setconsensus/internal/cli"
 )
 
 func TestBuildAdversaryFromFlags(t *testing.T) {
-	adv, tb, err := buildAdversary("0,1,1,1", "0@1:1;2@2:*", 0, 0, -1)
+	adv, tb, err := buildAdversary("0,1,1,1", "0@1:1;2@2:*", -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +32,7 @@ func TestBuildAdversaryFromFlags(t *testing.T) {
 }
 
 func TestBuildAdversarySilent(t *testing.T) {
-	adv, _, err := buildAdversary("1,1,1", "1@1:", 0, 0, 2)
+	adv, _, err := buildAdversary("1,1,1", "1@1:", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,19 +41,39 @@ func TestBuildAdversarySilent(t *testing.T) {
 	}
 }
 
-func TestBuildAdversaryCollapse(t *testing.T) {
-	adv, tb, err := buildAdversary("", "", 2, 3, -1)
+// TestWorkloadModeReplacesCollapseFlags pins the -workload replacement
+// for the old hand-rolled -collapse-k/-collapse-r construction: the
+// collapse family is now selected by name, with the same shape.
+func TestWorkloadModeReplacesCollapseFlags(t *testing.T) {
+	src, err := setconsensus.ParseWorkload("collapse:k=2,r=3")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tb != 8 || adv.N() != 12 {
-		t.Fatalf("collapse: n=%d t=%d", adv.N(), tb)
+	n := 0
+	for adv := range src.Seq() {
+		n++
+		if adv.N() != 12 {
+			t.Fatalf("collapse k=2 r=3: n=%d, want 12", adv.N())
+		}
+	}
+	if n != 1 {
+		t.Fatalf("pinned collapse yielded %d adversaries", n)
+	}
+	sum, err := cli.SweepWorkload(io.Discard, "collapse:k=2,r=2..4", []string{"upmin", "optmin"}, setconsensus.Oracle, 2, -1)
+	if err != nil {
+		t.Fatalf("SweepWorkload: %v", err)
+	}
+	if sum.Adversaries() != 3 || sum.Violations() != 0 {
+		t.Fatalf("collapse r=2..4 sweep: %d adversaries, %d violations", sum.Adversaries(), sum.Violations())
+	}
+	if _, err := cli.SweepWorkload(io.Discard, "nonsense", []string{"optmin"}, setconsensus.Oracle, 1, -1); err == nil {
+		t.Error("unknown workload must error")
 	}
 }
 
 func TestBuildAdversaryErrors(t *testing.T) {
 	cases := []struct{ inputs, crash string }{
-		{"", ""},             // no inputs and no collapse
+		{"", ""},             // no inputs and no workload
 		{"a,b", ""},          // junk values
 		{"1,1", "0@x:"},      // junk round
 		{"1,1", "0:1"},       // missing @
@@ -61,7 +83,7 @@ func TestBuildAdversaryErrors(t *testing.T) {
 		{"1,1", "0@1:;0@2:"}, // double crash
 	}
 	for _, c := range cases {
-		if _, _, err := buildAdversary(c.inputs, c.crash, 0, 0, -1); err == nil {
+		if _, _, err := buildAdversary(c.inputs, c.crash, -1); err == nil {
 			t.Errorf("inputs=%q crash=%q must error", c.inputs, c.crash)
 		}
 	}

@@ -35,6 +35,40 @@
 //	results, err := eng.Sweep(ctx, setconsensus.Protocols(), advs)
 //	err = eng.SweepStream(ctx, refs, advs, func(r *setconsensus.Result) { ... })
 //
+// # Workloads and Sources
+//
+// The workload side mirrors the protocol side: adversary families are
+// named, parameterized, and registered. A Source is a restartable
+// iter.Seq stream of adversaries; a WorkloadRegistry resolves references
+// like "collapse:k=3,r=2..6" (integer parameters accept lo..hi ranges)
+// into Sources; and Engine.SweepSource shards a Source across the worker
+// pool in deterministic chunks, folding every run online into a Summary
+// — per-protocol decision-time histograms, undecided and task-violation
+// counts, and wire-bit totals — whose size is bounded by protocols and
+// horizon, never by results, so exhaustive spaces sweep without ever
+// materializing:
+//
+//	src, err := setconsensus.ParseWorkload("space:n=4,t=2,r=2,v=0..1")
+//	sum, err := eng.SweepSource(ctx, []string{"optmin", "upmin"}, src)
+//	fmt.Println(setconsensus.SummaryTable(sum).Render())
+//
+// The built-in workloads are the paper's families plus the exhaustive
+// enumeration:
+//
+//	hiddenpath    Fig. 1 hidden path            depth=1..4 n=maxdepth+2
+//	hiddenchains  Fig. 2 / Lemma 2 chains       c=1..3 m=2 extra=2
+//	collapse      Fig. 4 separation family      k=2 r=2..4 extra=k+2 low=false
+//	silentrounds  tight worst-case family       k=2 r=1..4 extra=k+1
+//	random        seeded random adversaries     n=6 t=3 maxv=2 maxr=3 count=100 seed=1
+//	space         exhaustive canonical space    n=3 t=2 r=2 v=0..1
+//
+// Sources compose: SliceSource bridges materialized slices (Sweep itself
+// runs on it), SpaceSource streams an enum.Space, RandomSource samples a
+// seed deterministically, LimitSource bounds a stream to a budget,
+// ConcatSources chains workloads, and FuncSource adapts any custom
+// iterator. Aggregation is reusable outside SweepSource via
+// Engine.NewAggregator plus Aggregator.Add.
+//
 // The three backends (selected with WithBackend) are:
 //
 //	Oracle      the deterministic full-information simulator — the
@@ -68,7 +102,8 @@
 // "perround", "u-perround" — each with metadata (uniform task or not,
 // worst-case decision time, wire capability). Register adds custom
 // protocols, on the default registry or a private one passed via
-// WithRegistry.
+// WithRegistry. DefaultWorkloads is the analogous registry of workload
+// names; WorkloadRegistry.Register adds custom adversary families.
 //
 // Lower-level constructors (NewOptmin, NewBaseline, Run, NewGraph, …)
 // remain exported for single-shot use and for the analysis tooling

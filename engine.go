@@ -17,6 +17,10 @@ import (
 //	eng := setconsensus.New(setconsensus.WithDegree(2), setconsensus.WithCrashBound(3))
 //	res, err := eng.Run(ctx, "optmin", adv)
 //	results, err := eng.Sweep(ctx, []string{"optmin", "upmin", "floodmin"}, advs)
+//
+// Workloads too large to materialize stream through Engine.SweepSource,
+// which shards a Source across the same worker pool and folds results
+// into a constant-memory Summary.
 type Engine struct {
 	params  EngineParams
 	reg     *Registry
@@ -26,11 +30,16 @@ type Engine struct {
 	mu         sync.Mutex
 	graphs     map[graphKey]*knowledge.Graph
 	graphOrder []graphKey // FIFO eviction
+	fps        map[*model.Adversary]string
+	fpOrder    []*model.Adversary // FIFO eviction, same bound as graphs
 }
 
+// graphKey identifies a cached knowledge graph by the adversary's
+// canonical fingerprint — not its pointer — so structurally equal
+// adversaries built by different calls share one cached graph.
 type graphKey struct {
-	adv     *model.Adversary
-	horizon int
+	fingerprint string
+	horizon     int
 }
 
 // New builds an Engine from the defaults plus the given options. Invalid
@@ -41,7 +50,12 @@ func New(opts ...Option) *Engine {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	e := &Engine{params: cfg.params, reg: cfg.reg, graphs: make(map[graphKey]*knowledge.Graph)}
+	e := &Engine{
+		params: cfg.params,
+		reg:    cfg.reg,
+		graphs: make(map[graphKey]*knowledge.Graph),
+		fps:    make(map[*model.Adversary]string),
+	}
 	if cfg.reg == nil {
 		e.err = fmt.Errorf("engine: nil registry")
 		return e
@@ -61,13 +75,17 @@ func (e *Engine) Params() EngineParams { return e.params }
 func (e *Engine) Registry() *Registry { return e.reg }
 
 // runParams completes the per-run protocol parameters: n comes from the
-// adversary, t and k from the engine configuration (t = n−1 when unset).
+// adversary, t and k from the engine configuration (t = n−1 when unset,
+// the adversary's own failure count under PatternCrashBound).
 func (e *Engine) runParams(adv *model.Adversary) (Params, error) {
 	if adv == nil {
 		return Params{}, fmt.Errorf("engine: nil adversary")
 	}
 	t := e.params.T
-	if t < 0 {
+	switch {
+	case t == PatternCrashBound:
+		t = adv.Pattern.NumFailures()
+	case t < 0:
 		t = adv.N() - 1
 	}
 	p := Params{N: adv.N(), T: t, K: e.params.K}
@@ -93,6 +111,35 @@ func (e *Engine) horizonFor(specs []*ProtocolSpec, p Params) int {
 	return h
 }
 
+// fingerprintFor memoizes Adversary.Fingerprint by pointer identity:
+// canonicalizing the failure pattern is ~10% of a cached sweep, and
+// repeated Run/Sweep calls overwhelmingly reuse the same adversary
+// value. Streamed sources yield fresh pointers and never hit, but their
+// miss cost (one map insert + eviction under a lock held for
+// nanoseconds) is noise next to the fingerprint computation itself,
+// which a miss pays either way. Bounded FIFO like the graph cache.
+func (e *Engine) fingerprintFor(adv *model.Adversary) string {
+	e.mu.Lock()
+	if fp, ok := e.fps[adv]; ok {
+		e.mu.Unlock()
+		return fp
+	}
+	e.mu.Unlock()
+	fp := adv.Fingerprint()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.fps[adv]; !ok {
+		for len(e.fpOrder) >= e.params.GraphCache {
+			oldest := e.fpOrder[0]
+			e.fpOrder = e.fpOrder[1:]
+			delete(e.fps, oldest)
+		}
+		e.fps[adv] = fp
+		e.fpOrder = append(e.fpOrder, adv)
+	}
+	return fp
+}
+
 // graphFor returns the knowledge graph of adv at horizon, from the cache
 // when possible. Graphs are immutable after construction, so sharing is
 // safe across goroutines.
@@ -100,7 +147,7 @@ func (e *Engine) graphFor(adv *model.Adversary, horizon int) *knowledge.Graph {
 	if e.params.GraphCache == 0 {
 		return knowledge.New(adv, horizon)
 	}
-	key := graphKey{adv, horizon}
+	key := graphKey{e.fingerprintFor(adv), horizon}
 	e.mu.Lock()
 	if g, ok := e.graphs[key]; ok {
 		e.mu.Unlock()
@@ -161,9 +208,14 @@ func (e *Engine) Run(ctx context.Context, ref string, adv *Adversary) (*Result, 
 // pool of the configured parallelism; within one adversary all protocols
 // share a single knowledge graph. The first error (including context
 // cancellation) aborts the sweep.
+//
+// Empty input handling is asymmetric by design: refs name the experiment
+// and must be non-empty (an error), while advs is the workload and may
+// legitimately be empty — the sweep returns an empty, non-nil slice and
+// no error.
 func (e *Engine) Sweep(ctx context.Context, refs []string, advs []*Adversary) ([]*Result, error) {
 	results := make([]*Result, len(refs)*len(advs))
-	err := e.sweep(ctx, refs, advs, func(advIdx, refIdx int, r *Result) {
+	err := e.sweep(ctx, refs, SliceSource(advs...), func(advIdx, refIdx int, r *Result) {
 		results[advIdx*len(refs)+refIdx] = r
 	})
 	if err != nil {
@@ -174,17 +226,85 @@ func (e *Engine) Sweep(ctx context.Context, refs []string, advs []*Adversary) ([
 
 // SweepStream is Sweep with streaming delivery: emit is called once per
 // finished run, in completion order, from a single goroutine at a time.
+// Cancelling ctx aborts the stream promptly and returns ctx.Err().
 func (e *Engine) SweepStream(ctx context.Context, refs []string, advs []*Adversary, emit func(*Result)) error {
+	return e.SweepSourceStream(ctx, refs, SliceSource(advs...), emit)
+}
+
+// SweepSource streams every adversary of src through every named
+// protocol and folds the results online into a Summary. The source is
+// sharded across the worker pool in deterministic chunks and never
+// materialized: memory is bounded by the Summary, the in-flight chunks,
+// and whatever the source itself retains (an exhaustive SpaceSource
+// keeps its canonical-pattern dedup set) — never by the number of
+// results. Per adversary, all protocols share one knowledge graph, as
+// in Sweep.
+func (e *Engine) SweepSource(ctx context.Context, refs []string, src Source) (*Summary, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("engine: nil source")
+	}
+	agg, err := e.NewAggregator(src.Label(), refs)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.sweep(ctx, refs, src, func(_, _ int, r *Result) { agg.Add(r) }); err != nil {
+		return nil, err
+	}
+	return agg.Summary(), nil
+}
+
+// SweepSourceStream is SweepSource with per-result delivery instead of
+// aggregation: emit is called once per finished run, in completion
+// order, from a single goroutine at a time.
+func (e *Engine) SweepSourceStream(ctx context.Context, refs []string, src Source, emit func(*Result)) error {
+	if src == nil {
+		return fmt.Errorf("engine: nil source")
+	}
 	var mu sync.Mutex
-	return e.sweep(ctx, refs, advs, func(_, _ int, r *Result) {
+	return e.sweep(ctx, refs, src, func(_, _ int, r *Result) {
 		mu.Lock()
 		defer mu.Unlock()
 		emit(r)
 	})
 }
 
-// sweep is the shared batch executor behind Sweep and SweepStream.
-func (e *Engine) sweep(ctx context.Context, refs []string, advs []*Adversary, deliver func(advIdx, refIdx int, r *Result)) error {
+// sourceChunk bounds how many adversaries a worker claims at once from a
+// streamed source. Chunking amortizes channel handoffs on huge spaces
+// without starving workers on small ones.
+const sourceChunk = 32
+
+// chunkSizeFor picks the shard size: small known workloads go one
+// adversary at a time (maximum parallelism), large or unknown ones in
+// fixed chunks.
+func chunkSizeFor(count int, known bool, workers int) int {
+	if !known {
+		return sourceChunk
+	}
+	c := count / (workers * 4)
+	if c < 1 {
+		return 1
+	}
+	if c > sourceChunk {
+		return sourceChunk
+	}
+	return c
+}
+
+// sweepChunk is one work unit: a run of consecutive adversaries and the
+// global index of the first.
+type sweepChunk struct {
+	base int
+	advs []*Adversary
+}
+
+// sweep is the shared executor behind Sweep, SweepStream, and the source
+// variants: a feeder goroutine cuts the source into deterministic chunks,
+// a worker pool runs sweepOne per adversary, deliver receives every
+// result tagged with its global adversary and protocol indices.
+func (e *Engine) sweep(ctx context.Context, refs []string, src Source, deliver func(advIdx, refIdx int, r *Result)) error {
 	if e.err != nil {
 		return e.err
 	}
@@ -199,15 +319,21 @@ func (e *Engine) sweep(ctx context.Context, refs []string, advs []*Adversary, de
 		}
 		specs[i] = spec
 	}
+	count, known := src.Count()
+	if known && count <= 0 {
+		return ctx.Err()
+	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	jobs := make(chan int)
 	workers := e.params.Parallelism
-	if workers > len(advs) {
-		workers = len(advs)
+	if known && workers > count {
+		workers = count
 	}
+	chunkSize := chunkSizeFor(count, known, workers)
+
+	jobs := make(chan sweepChunk)
 	var (
 		wg       sync.WaitGroup
 		errOnce  sync.Once
@@ -221,23 +347,48 @@ func (e *Engine) sweep(ctx context.Context, refs []string, advs []*Adversary, de
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for advIdx := range jobs {
-				if err := e.sweepOne(ctx, refs, specs, advs[advIdx], advIdx, deliver); err != nil {
-					fail(err)
-					return
+			for chunk := range jobs {
+				for i, adv := range chunk.advs {
+					if err := e.sweepOne(ctx, refs, specs, adv, chunk.base+i, deliver); err != nil {
+						fail(err)
+						return
+					}
 				}
 			}
 		}()
 	}
-feed:
-	for a := range advs {
-		select {
-		case jobs <- a:
-		case <-ctx.Done():
-			break feed
+
+	// The feeder pulls from the source iterator and hands out chunks; it
+	// runs aside the workers so unbounded sources never buffer more than
+	// one chunk ahead.
+	go func() {
+		defer close(jobs)
+		next := 0
+		chunk := sweepChunk{base: 0, advs: make([]*Adversary, 0, chunkSize)}
+		flush := func() bool {
+			if len(chunk.advs) == 0 {
+				return true
+			}
+			select {
+			case jobs <- chunk:
+				chunk = sweepChunk{base: next, advs: make([]*Adversary, 0, chunkSize)}
+				return true
+			case <-ctx.Done():
+				return false
+			}
 		}
-	}
-	close(jobs)
+		for adv := range src.Seq() {
+			chunk.advs = append(chunk.advs, adv)
+			next++
+			if len(chunk.advs) == chunkSize {
+				if !flush() {
+					return
+				}
+			}
+		}
+		flush()
+	}()
+
 	wg.Wait()
 	if firstErr != nil {
 		return firstErr

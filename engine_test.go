@@ -164,6 +164,118 @@ func TestEngineGraphCacheAcrossRuns(t *testing.T) {
 	}
 }
 
+// TestEngineGraphCacheSharedAcrossEqualAdversaries pins the fingerprint
+// cache key: two structurally equal adversaries built by different calls
+// must hit the same cached knowledge graph.
+func TestEngineGraphCacheSharedAcrossEqualAdversaries(t *testing.T) {
+	build := func() *setconsensus.Adversary {
+		return setconsensus.NewBuilder(5, 1).Input(0, 0).CrashSendingTo(4, 1, 3).MustBuild()
+	}
+	a, b := build(), build()
+	if a == b {
+		t.Fatal("sanity: distinct pointers required")
+	}
+	eng := setconsensus.New(setconsensus.WithCrashBound(2), setconsensus.WithDegree(1))
+	ctx := context.Background()
+	r1, err := eng.Run(ctx, "optmin", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := eng.Run(ctx, "optmin", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.KnowledgeGraph() != r2.KnowledgeGraph() {
+		t.Error("structurally equal adversaries must share one cached graph")
+	}
+	if n := eng.CachedGraphs(); n != 1 {
+		t.Errorf("cache holds %d graphs, want 1", n)
+	}
+	// Observably equal but structurally different (extra delivery to a
+	// dead receiver) also shares, via canonicalization.
+	c := setconsensus.NewBuilder(5, 1).Input(0, 0).CrashSendingTo(4, 1, 3).CrashSilent(3, 1).MustBuild()
+	d := setconsensus.NewBuilder(5, 1).Input(0, 0).CrashSendingTo(4, 1, 3, 3).CrashSilent(3, 1).MustBuild()
+	r3, err := eng.Run(ctx, "optmin", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := eng.Run(ctx, "optmin", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.KnowledgeGraph() != r4.KnowledgeGraph() {
+		t.Error("observably equal adversaries must share one cached graph")
+	}
+}
+
+// TestEngineSweepEmptyInputs pins the documented asymmetry: no protocols
+// is an error, no adversaries is an empty result.
+func TestEngineSweepEmptyInputs(t *testing.T) {
+	eng := setconsensus.New()
+	ctx := context.Background()
+	if _, err := eng.Sweep(ctx, nil, []*setconsensus.Adversary{setconsensus.NewBuilder(3, 0).MustBuild()}); err == nil {
+		t.Error("empty refs must error")
+	}
+	results, err := eng.Sweep(ctx, []string{"optmin"}, nil)
+	if err != nil {
+		t.Fatalf("empty advs must not error: %v", err)
+	}
+	if results == nil || len(results) != 0 {
+		t.Errorf("empty advs: want empty non-nil slice, got %v", results)
+	}
+	if err := eng.SweepStream(ctx, []string{"optmin"}, nil, func(*setconsensus.Result) {
+		t.Error("empty advs must emit nothing")
+	}); err != nil {
+		t.Fatalf("empty advs stream: %v", err)
+	}
+}
+
+func TestParseBackendCaseInsensitive(t *testing.T) {
+	for name, want := range map[string]setconsensus.BackendKind{
+		"oracle": setconsensus.Oracle, "Oracle": setconsensus.Oracle, "ORACLE": setconsensus.Oracle,
+		" wire ": setconsensus.Wire, "GoRoutines": setconsensus.Goroutines,
+	} {
+		got, err := setconsensus.ParseBackend(name)
+		if err != nil || got != want {
+			t.Errorf("ParseBackend(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := setconsensus.ParseBackend("quantum"); err == nil {
+		t.Error("unknown backend must error")
+	}
+}
+
+// TestEngineSweepStreamCancelAfterFirstEmit cancels the context after the
+// very first emitted result; the stream must abort promptly and return
+// ctx.Err().
+func TestEngineSweepStreamCancelAfterFirstEmit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var advs []*setconsensus.Adversary
+	for i := 0; i < 60; i++ {
+		advs = append(advs, model.Random(rng, model.RandomParams{N: 5, T: 2, MaxValue: 1, MaxRound: 2}))
+	}
+	refs := []string{"optmin", "upmin"}
+	eng := setconsensus.New(
+		setconsensus.WithCrashBound(2),
+		setconsensus.WithParallelism(2),
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted := 0
+	err := eng.SweepStream(ctx, refs, advs, func(*setconsensus.Result) {
+		emitted++
+		if emitted == 1 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if emitted >= len(refs)*len(advs) {
+		t.Fatalf("cancellation did not stop the stream: %d results", emitted)
+	}
+}
+
 func TestEngineSweepCancellationMidSweep(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	var advs []*setconsensus.Adversary
@@ -302,7 +414,7 @@ func TestEngineParamsDefaultsValidate(t *testing.T) {
 	}
 	bad := []setconsensus.EngineParams{
 		{Backend: 99, T: -1, K: 1, GraphCache: 1, Parallelism: 1},
-		{T: -2, K: 1, GraphCache: 1, Parallelism: 1},
+		{T: -3, K: 1, GraphCache: 1, Parallelism: 1},
 		{T: -1, K: 0, GraphCache: 1, Parallelism: 1},
 		{T: -1, K: 1, Horizon: -1, GraphCache: 1, Parallelism: 1},
 		{Backend: setconsensus.Wire, T: -1, K: 1, Horizon: 2, GraphCache: 1, Parallelism: 1},

@@ -1,0 +1,190 @@
+// Package agg implements constant-memory online aggregation of sweep
+// results. A streamed sweep over an unbounded adversary source cannot
+// keep its results; instead each finished run folds into a Summary —
+// per-protocol decision-time histograms, undecided and violation counts,
+// and wire-bit totals — whose size is bounded by the number of protocols
+// and the decision-time horizon, never by the number of adversaries.
+//
+// The package is deliberately free of engine types: a Summary consumes
+// plain Obs records, so the root package's Aggregator adapts Results to
+// it and internal/experiments renders tables from it without an import
+// cycle.
+package agg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Obs is one run's contribution to a Summary.
+type Obs struct {
+	// Time is the latest decision time among correct processes, or −1 if
+	// some correct process never decided.
+	Time int
+	// Violation records a failed task verification (validity or
+	// k-agreement) — the count every unbeatability claim says stays zero.
+	Violation bool
+	// Bits and MaxPairBits carry the wire backend's accounting; zero on
+	// other backends.
+	Bits        int64
+	MaxPairBits int
+}
+
+// ProtocolSummary aggregates every run of one protocol.
+type ProtocolSummary struct {
+	Ref        string      `json:"ref"`
+	Runs       int         `json:"runs"`
+	Undecided  int         `json:"undecided"`  // runs with Time < 0
+	Violations int         `json:"violations"` // failed task verifications
+	MaxTime    int         `json:"maxTime"`    // worst decision time over decided runs
+	TimeHist   map[int]int `json:"timeHist"`   // decision time → runs (−1 = undecided)
+	SumTime    int64       `json:"sumTime"`    // over decided runs, for MeanTime
+	TotalBits  int64       `json:"totalBits,omitempty"`
+	MaxPair    int         `json:"maxPairBits,omitempty"`
+}
+
+// Observe folds one run into the row.
+func (p *ProtocolSummary) Observe(o Obs) {
+	p.Runs++
+	p.TimeHist[o.Time]++
+	if o.Time < 0 {
+		p.Undecided++
+	} else {
+		p.SumTime += int64(o.Time)
+		if o.Time > p.MaxTime {
+			p.MaxTime = o.Time
+		}
+	}
+	if o.Violation {
+		p.Violations++
+	}
+	p.TotalBits += o.Bits
+	if o.MaxPairBits > p.MaxPair {
+		p.MaxPair = o.MaxPairBits
+	}
+}
+
+// MeanTime returns the mean decision time over decided runs (NaN-free:
+// zero when nothing decided).
+func (p *ProtocolSummary) MeanTime() float64 {
+	decided := p.Runs - p.Undecided
+	if decided == 0 {
+		return 0
+	}
+	return float64(p.SumTime) / float64(decided)
+}
+
+// HistString renders the decision-time histogram compactly in time
+// order, e.g. "2:14 3:6 ⊥:1".
+func (p *ProtocolSummary) HistString() string {
+	times := make([]int, 0, len(p.TimeHist))
+	for t := range p.TimeHist {
+		times = append(times, t)
+	}
+	sort.Ints(times)
+	s := ""
+	for i, t := range times {
+		if i > 0 {
+			s += " "
+		}
+		if t < 0 {
+			s += fmt.Sprintf("⊥:%d", p.TimeHist[t])
+		} else {
+			s += fmt.Sprintf("%d:%d", t, p.TimeHist[t])
+		}
+	}
+	return s
+}
+
+// Clone returns a deep copy.
+func (p *ProtocolSummary) Clone() *ProtocolSummary {
+	c := *p
+	c.TimeHist = make(map[int]int, len(p.TimeHist))
+	for t, n := range p.TimeHist {
+		c.TimeHist[t] = n
+	}
+	return &c
+}
+
+// Summary is the aggregate of one sweep: one row per protocol, in sweep
+// order, plus the workload label. It is not safe for concurrent use; the
+// root package's Aggregator serializes access.
+type Summary struct {
+	Workload  string             `json:"workload"`
+	Protocols []*ProtocolSummary `json:"protocols"`
+
+	byRef map[string]*ProtocolSummary
+}
+
+// New builds an empty summary with one row per protocol ref.
+func New(workload string, refs []string) *Summary {
+	s := &Summary{Workload: workload, byRef: make(map[string]*ProtocolSummary, len(refs))}
+	for _, ref := range refs {
+		if _, dup := s.byRef[ref]; dup {
+			continue
+		}
+		row := &ProtocolSummary{Ref: ref, TimeHist: make(map[int]int)}
+		s.Protocols = append(s.Protocols, row)
+		s.byRef[ref] = row
+	}
+	return s
+}
+
+// Observe folds one run of the named protocol into the summary.
+func (s *Summary) Observe(ref string, o Obs) error {
+	row, ok := s.byRef[ref]
+	if !ok {
+		return fmt.Errorf("agg: observation for unknown protocol %q", ref)
+	}
+	row.Observe(o)
+	return nil
+}
+
+// Runs returns the total number of runs folded in.
+func (s *Summary) Runs() int {
+	total := 0
+	for _, p := range s.Protocols {
+		total += p.Runs
+	}
+	return total
+}
+
+// Adversaries returns the number of adversaries swept, assuming every
+// protocol ran against every adversary (as Engine sweeps guarantee).
+func (s *Summary) Adversaries() int {
+	if len(s.Protocols) == 0 {
+		return 0
+	}
+	return s.Protocols[0].Runs
+}
+
+// Violations returns the total verification failures across protocols.
+func (s *Summary) Violations() int {
+	total := 0
+	for _, p := range s.Protocols {
+		total += p.Violations
+	}
+	return total
+}
+
+// Undecided returns the total runs in which some correct process never
+// decided — a Decision (liveness) failure, tracked apart from the
+// validity/agreement Violations.
+func (s *Summary) Undecided() int {
+	total := 0
+	for _, p := range s.Protocols {
+		total += p.Undecided
+	}
+	return total
+}
+
+// Clone returns a deep copy — the snapshot Aggregator.Summary hands out.
+func (s *Summary) Clone() *Summary {
+	c := &Summary{Workload: s.Workload, byRef: make(map[string]*ProtocolSummary, len(s.Protocols))}
+	for _, p := range s.Protocols {
+		row := p.Clone()
+		c.Protocols = append(c.Protocols, row)
+		c.byRef[row.Ref] = row
+	}
+	return c
+}

@@ -1,0 +1,79 @@
+package agg
+
+import "testing"
+
+func TestSummaryObserve(t *testing.T) {
+	s := New("test", []string{"a", "b"})
+	if err := s.Observe("a", Obs{Time: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observe("a", Obs{Time: 2, Bits: 10, MaxPairBits: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observe("a", Obs{Time: -1, Violation: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observe("b", Obs{Time: 3, Bits: 5, MaxPairBits: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observe("zzz", Obs{}); err == nil {
+		t.Error("unknown ref must error")
+	}
+
+	a := s.Protocols[0]
+	if a.Ref != "a" || a.Runs != 3 || a.Undecided != 1 || a.Violations != 1 || a.MaxTime != 2 {
+		t.Errorf("row a: %+v", a)
+	}
+	if a.TimeHist[2] != 2 || a.TimeHist[-1] != 1 {
+		t.Errorf("hist a: %v", a.TimeHist)
+	}
+	if got := a.MeanTime(); got != 2.0 {
+		t.Errorf("mean a: %v", got)
+	}
+	if a.TotalBits != 10 || a.MaxPair != 4 {
+		t.Errorf("bits a: %+v", a)
+	}
+	if got := a.HistString(); got != "⊥:1 2:2" {
+		t.Errorf("HistString = %q", got)
+	}
+	if s.Runs() != 4 || s.Adversaries() != 3 || s.Violations() != 1 {
+		t.Errorf("totals: runs=%d advs=%d viol=%d", s.Runs(), s.Adversaries(), s.Violations())
+	}
+}
+
+func TestSummaryCloneIsDeep(t *testing.T) {
+	s := New("w", []string{"a"})
+	if err := s.Observe("a", Obs{Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	if err := c.Observe("a", Obs{Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Protocols[0].Runs != 1 || c.Protocols[0].Runs != 2 {
+		t.Error("clone shares state with the original")
+	}
+	if s.Protocols[0].TimeHist[1] != 1 || c.Protocols[0].TimeHist[1] != 2 {
+		t.Error("clone shares the histogram map")
+	}
+}
+
+func TestMeanTimeNoDecisions(t *testing.T) {
+	s := New("w", []string{"a"})
+	if err := s.Observe("a", Obs{Time: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Protocols[0].MeanTime(); got != 0 {
+		t.Errorf("all-undecided mean = %v, want 0", got)
+	}
+	if (&Summary{}).Adversaries() != 0 {
+		t.Error("empty summary Adversaries must be 0")
+	}
+}
+
+func TestDuplicateRefsCollapse(t *testing.T) {
+	s := New("w", []string{"a", "a"})
+	if len(s.Protocols) != 1 {
+		t.Fatalf("duplicate refs produced %d rows", len(s.Protocols))
+	}
+}

@@ -1,0 +1,53 @@
+// Package cli holds the workload-sweep flow shared by the command-line
+// binaries, so cmd/setconsensus and cmd/experiments render identical
+// summaries and apply identical defaults instead of drifting copies.
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	setconsensus "setconsensus"
+)
+
+// SplitList splits a comma-separated flag value, trimming whitespace and
+// dropping empty entries.
+func SplitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// SweepWorkload parses the workload reference, streams it through the
+// named protocols on the given backend, prints the summary table to w,
+// and returns the summary for the caller's exit-code policy. A t < 0
+// defaults to PatternCrashBound — each adversary's own failure count,
+// the bound the named family curves are designed for (and the one the
+// pre-workload CLI derived via CollapseT); pass an explicit t ≥ 0 to pin
+// an a-priori bound across the sweep.
+func SweepWorkload(w io.Writer, workloadRef string, refs []string, backend setconsensus.BackendKind, k, t int) (*setconsensus.Summary, error) {
+	src, err := setconsensus.ParseWorkload(workloadRef)
+	if err != nil {
+		return nil, err
+	}
+	if t < 0 {
+		t = setconsensus.PatternCrashBound
+	}
+	eng := setconsensus.New(
+		setconsensus.WithBackend(backend),
+		setconsensus.WithCrashBound(t),
+		setconsensus.WithDegree(k),
+	)
+	sum, err := eng.SweepSource(context.Background(), refs, src)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, setconsensus.SummaryTable(sum).Render())
+	return sum, nil
+}

@@ -1,0 +1,54 @@
+package cli
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	setconsensus "setconsensus"
+)
+
+func TestSplitList(t *testing.T) {
+	got := SplitList(" optmin, upmin ,,floodmin ")
+	if len(got) != 3 || got[0] != "optmin" || got[1] != "upmin" || got[2] != "floodmin" {
+		t.Fatalf("SplitList = %v", got)
+	}
+	if SplitList("") != nil {
+		t.Error("empty list must be nil")
+	}
+}
+
+// TestSweepWorkloadDefaultsToPatternBound pins the parity with the
+// removed -collapse-k/-collapse-r flags: those derived t = CollapseT =
+// k(r+1) per adversary, and the workload default must reproduce it —
+// FloodMin on collapse k=2,r=3 decides at ⌊t/k⌋+1 = 5, not the 6 that
+// t = n−1 would give.
+func TestSweepWorkloadDefaultsToPatternBound(t *testing.T) {
+	sum, err := SweepWorkload(io.Discard, "collapse:k=2,r=3", []string{"floodmin"}, setconsensus.Oracle, 2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sum.Protocols[0]
+	if p.MaxTime != 5 {
+		t.Fatalf("floodmin on collapse k=2,r=3: decided at %d, want 5 (t = k(r+1) = 8)", p.MaxTime)
+	}
+	// An explicit t pins the a-priori bound instead.
+	sum, err = SweepWorkload(io.Discard, "collapse:k=2,r=3", []string{"floodmin"}, setconsensus.Oracle, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Protocols[0].MaxTime; got != 6 {
+		t.Fatalf("floodmin with explicit t=10: decided at %d, want 6", got)
+	}
+}
+
+func TestSweepWorkloadRendersTable(t *testing.T) {
+	var b strings.Builder
+	if _, err := SweepWorkload(&b, "silentrounds:k=1,r=1..2", []string{"optmin"}, setconsensus.Oracle, 1, -1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "optmin") || !strings.Contains(out, "silentrounds") {
+		t.Errorf("table output missing expected content:\n%s", out)
+	}
+}

@@ -3,10 +3,16 @@
 // for small (n, t, rounds, values) the adversary space is finite and this
 // package walks all of it, canonicalizing away unobservable differences
 // (deliveries to processes that are dead at receipt time).
+//
+// The enumeration is exposed as a resumable iterator: All yields every
+// canonical adversary paired with its offset in the deterministic order,
+// and From(offset) resumes mid-stream, so unbounded sweeps can checkpoint
+// with nothing but an integer.
 package enum
 
 import (
 	"fmt"
+	"iter"
 	"math"
 
 	"setconsensus/internal/bitset"
@@ -43,31 +49,83 @@ func (s Space) CountUpperBound() float64 {
 	return patterns * math.Pow(float64(len(s.Values)), float64(s.N))
 }
 
+// inputCount returns the number of input vectors, len(Values)^N.
+func (s Space) inputCount() int {
+	c := 1
+	for i := 0; i < s.N; i++ {
+		c *= len(s.Values)
+	}
+	return c
+}
+
+// All returns a deterministic iterator over every canonically distinct
+// adversary in the space, paired with its offset in the enumeration
+// order. Two adversaries are canonically identical when they differ only
+// in crash-round deliveries to processes that are already dead at receipt
+// time (such deliveries are unobservable: dead processes never read).
+//
+// The walk never materializes adversaries, but canonical deduplication
+// retains one key string per distinct failure pattern seen, so a full
+// pass holds O(#patterns) memory — a factor len(Values)^N below the
+// adversary count, never proportional to it.
+//
+// The iterator requires a valid space; an invalid one yields nothing —
+// callers that need the error use Validate or ForEach.
+func (s Space) All() iter.Seq2[int, *model.Adversary] { return s.From(0) }
+
+// From resumes the enumeration of All at the given offset: it yields the
+// suffix beginning with the offset-th canonical adversary, with the same
+// offsets All would have paired them with. Recording the last offset seen
+// plus one is therefore enough state to pause and resume an unbounded
+// sweep. Whole failure-pattern blocks before the offset are skipped
+// without enumerating their input vectors (each canonical pattern spans
+// len(Values)^N consecutive offsets); partially consumed blocks re-enter
+// the input odometer directly at the right vector.
+func (s Space) From(offset int) iter.Seq2[int, *model.Adversary] {
+	return func(yield func(int, *model.Adversary) bool) {
+		if s.Validate() != nil || offset < 0 {
+			return
+		}
+		block := s.inputCount()
+		seen := make(map[string]struct{})
+		idx := 0
+		s.forEachPattern(func(fp *model.FailurePattern) bool {
+			canon := fp.Canonical()
+			key := canon.String()
+			if _, dup := seen[key]; dup {
+				return true
+			}
+			seen[key] = struct{}{}
+			if idx+block <= offset {
+				idx += block // fast-skip: the whole block precedes the offset
+				return true
+			}
+			start := 0
+			if idx < offset {
+				start = offset - idx
+			}
+			cont := true
+			s.forEachInputsFrom(start, func(i int, inputs []model.Value) bool {
+				cont = yield(idx+i, model.NewAdversary(inputs, canon))
+				return cont
+			})
+			idx += block
+			return cont
+		})
+	}
+}
+
 // ForEach calls fn for every canonically distinct adversary in the space,
-// in a deterministic order, until fn returns false. Two adversaries are
-// canonically identical when they differ only in crash-round deliveries
-// to processes that are already dead at receipt time (such deliveries are
-// unobservable: dead processes never read).
+// in the deterministic order of All, until fn returns false.
 func (s Space) ForEach(fn func(*model.Adversary) bool) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
-	seen := make(map[string]struct{})
-	cont := true
-	s.forEachPattern(func(fp *model.FailurePattern) bool {
-		canon := canonicalize(fp)
-		key := canon.String()
-		if _, dup := seen[key]; dup {
-			return true
+	for _, adv := range s.All() {
+		if !fn(adv) {
+			break
 		}
-		seen[key] = struct{}{}
-		s.forEachInputs(func(inputs []model.Value) bool {
-			adv := model.NewAdversary(inputs, canon)
-			cont = fn(adv)
-			return cont
-		})
-		return cont
-	})
+	}
 	return nil
 }
 
@@ -143,39 +201,37 @@ func (s Space) forEachConfig(crashers []model.Proc, fn func(*model.FailurePatter
 	return rec(0)
 }
 
-// forEachInputs enumerates input vectors over s.Values.
-func (s Space) forEachInputs(fn func([]model.Value) bool) bool {
+// forEachInputsFrom enumerates input vectors over s.Values beginning at
+// the start-th vector, calling fn with each vector's index within the
+// block. The order is big-endian base-len(Values): process 0 is the most
+// significant digit, so the vector at index i is decoded directly instead
+// of enumerated up to.
+func (s Space) forEachInputsFrom(start int, fn func(int, []model.Value) bool) bool {
+	base := len(s.Values)
+	digits := make([]int, s.N)
+	for i, rem := s.N-1, start; i >= 0; i-- {
+		digits[i] = rem % base
+		rem /= base
+	}
 	inputs := make([]model.Value, s.N)
-	var rec func(idx int) bool
-	rec = func(idx int) bool {
-		if idx == s.N {
-			return fn(inputs)
+	for i := start; ; i++ {
+		for j, d := range digits {
+			inputs[j] = s.Values[d]
 		}
-		for _, v := range s.Values {
-			inputs[idx] = v
-			if !rec(idx + 1) {
-				return false
-			}
+		if !fn(i, inputs) {
+			return false
 		}
-		return true
-	}
-	return rec(0)
-}
-
-// canonicalize strips unobservable deliveries: a crash-round message to a
-// receiver that is dead at receipt time is never read, and a delivery to
-// oneself is implicit. The result is a fresh pattern.
-func canonicalize(fp *model.FailurePattern) *model.FailurePattern {
-	out := model.NewFailurePattern(fp.N)
-	for p, c := range fp.Crashes {
-		d := bitset.New(fp.N)
-		c.Delivered.ForEach(func(q int) bool {
-			if q != p && fp.Active(q, c.Round) {
-				d.Add(q)
+		// Increment the odometer; carry past digit 0 ends the block.
+		j := s.N - 1
+		for ; j >= 0; j-- {
+			digits[j]++
+			if digits[j] < base {
+				break
 			}
+			digits[j] = 0
+		}
+		if j < 0 {
 			return true
-		})
-		out.Crashes[p] = model.Crash{Round: c.Round, Delivered: d}
+		}
 	}
-	return out
 }

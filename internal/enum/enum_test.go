@@ -128,6 +128,89 @@ func TestForEachEarlyStop(t *testing.T) {
 	}
 }
 
+func TestAllMatchesForEach(t *testing.T) {
+	s := Space{N: 3, T: 2, MaxRound: 2, Values: []model.Value{0, 1}}
+	var viaForEach []string
+	if err := s.ForEach(func(a *model.Adversary) bool { viaForEach = append(viaForEach, a.String()); return true }); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for idx, a := range s.All() {
+		if idx != i {
+			t.Fatalf("offset %d at position %d", idx, i)
+		}
+		if a.String() != viaForEach[i] {
+			t.Fatalf("All[%d] = %s, ForEach = %s", i, a, viaForEach[i])
+		}
+		i++
+	}
+	if i != len(viaForEach) {
+		t.Fatalf("All yielded %d, ForEach %d", i, len(viaForEach))
+	}
+}
+
+func TestFromResumesAtOffset(t *testing.T) {
+	s := Space{N: 3, T: 2, MaxRound: 2, Values: []model.Value{0, 1}}
+	var all []string
+	for _, a := range s.All() {
+		all = append(all, a.String())
+	}
+	// Resume at every offset across the first few input blocks plus the
+	// tail; each suffix must match the full enumeration exactly.
+	offsets := []int{0, 1, 7, 8, 9, len(all) / 2, len(all) - 1, len(all)}
+	for _, off := range offsets {
+		i := off
+		for idx, a := range s.From(off) {
+			if idx != i {
+				t.Fatalf("From(%d): offset %d at position %d", off, idx, i)
+			}
+			if a.String() != all[i] {
+				t.Fatalf("From(%d)[%d] = %s, want %s", off, i, a, all[i])
+			}
+			i++
+		}
+		if i != len(all) {
+			t.Fatalf("From(%d) yielded up to %d, want %d", off, i, len(all))
+		}
+	}
+	for range s.From(len(all) + 10) {
+		t.Fatal("offset past the end must yield nothing")
+	}
+	for range s.From(-1) {
+		t.Fatal("negative offset must yield nothing")
+	}
+}
+
+func TestFromEarlyStopAndResume(t *testing.T) {
+	// Pause after consuming a prefix, resume from the recorded offset, and
+	// check the two halves concatenate to the full enumeration.
+	s := Space{N: 3, T: 1, MaxRound: 2, Values: []model.Value{0, 1}}
+	var all []string
+	for _, a := range s.All() {
+		all = append(all, a.String())
+	}
+	var got []string
+	next := 0
+	for idx, a := range s.All() {
+		got = append(got, a.String())
+		next = idx + 1
+		if len(got) == 11 {
+			break
+		}
+	}
+	for _, a := range s.From(next) {
+		got = append(got, a.String())
+	}
+	if len(got) != len(all) {
+		t.Fatalf("pause/resume yielded %d, want %d", len(got), len(all))
+	}
+	for i := range got {
+		if got[i] != all[i] {
+			t.Fatalf("pause/resume diverges at %d: %s vs %s", i, got[i], all[i])
+		}
+	}
+}
+
 func TestAllAdversariesValid(t *testing.T) {
 	s := Space{N: 3, T: 2, MaxRound: 2, Values: []model.Value{0, 1}}
 	total := 0

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+
+	"setconsensus/internal/agg"
+)
+
+// SweepTable renders an online-aggregated sweep Summary as a Table: one
+// row per protocol with run counts, decision-time statistics, the full
+// decision-time histogram, and — when the wire backend contributed —
+// bandwidth totals. It is how ad-hoc workload sweeps (cmd/experiments
+// -workload, cmd/setconsensus -workload) join the E1–E10 presentation
+// format.
+func SweepTable(s *agg.Summary) *Table {
+	t := &Table{
+		ID:      "SWEEP",
+		Title:   fmt.Sprintf("workload %s — %d adversaries", s.Workload, s.Adversaries()),
+		Columns: []string{"protocol", "runs", "undecided", "violations", "max time", "mean time", "decision times"},
+	}
+	bits := false
+	for _, p := range s.Protocols {
+		if p.TotalBits > 0 {
+			bits = true
+		}
+	}
+	if bits {
+		t.Columns = append(t.Columns, "total bits", "max bits/pair")
+	}
+	for _, p := range s.Protocols {
+		cells := []any{
+			p.Ref, p.Runs, p.Undecided, p.Violations, p.MaxTime,
+			fmt.Sprintf("%.2f", p.MeanTime()), p.HistString(),
+		}
+		if bits {
+			cells = append(cells, p.TotalBits, p.MaxPair)
+		}
+		t.AddRow(cells...)
+	}
+	if v := s.Violations(); v > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("%d task verification FAILURES", v))
+	}
+	return t
+}

@@ -9,6 +9,27 @@ import (
 // experiments. Each corresponds to a figure or proof construction of the
 // paper; the comments state which.
 
+// FamilyInfo is the registration metadata of one named adversary family:
+// the canonical workload name and a one-line summary. The root package's
+// workload registry builds its built-in entries from Families, so the
+// model package stays the single source of truth for what exists.
+type FamilyInfo struct {
+	Name    string
+	Summary string
+}
+
+// Families lists the named adversary families of this package in
+// presentation order.
+func Families() []FamilyInfo {
+	return []FamilyInfo{
+		{"hiddenpath", "Fig. 1 hidden path — a chain of crashes hides the lone low value"},
+		{"hiddenchains", "Fig. 2 / Lemma 2 hidden chains — hidden capacity c at time m"},
+		{"collapse", "Fig. 4 separation family — u-Pmin decides at 2, baselines need ⌊t/k⌋+1"},
+		{"silentrounds", "worst-case family — k silent crashes per round, bounds tight"},
+		{"random", "seeded random adversaries — uniform inputs, crashes, deliveries"},
+	}
+}
+
 // HiddenPath builds the Fig. 1 adversary for (1-set) consensus: a chain of
 // processes crashing one per round, each passing the lone initial value 0
 // to its successor only, so that the observer (process 0) has a hidden path

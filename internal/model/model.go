@@ -183,6 +183,26 @@ func (f *FailurePattern) String() string {
 	return s + ")"
 }
 
+// Canonical returns a copy of the pattern with unobservable deliveries
+// stripped: a crash-round delivery to a receiver that is already dead at
+// receipt time is never read, and delivery to oneself is implicit. Two
+// patterns whose Canonical forms render identically are observably equal
+// — no protocol can distinguish the runs they induce.
+func (f *FailurePattern) Canonical() *FailurePattern {
+	out := NewFailurePattern(f.N)
+	for p, c := range f.Crashes {
+		d := bitset.New(f.N)
+		c.Delivered.ForEach(func(q int) bool {
+			if q != p && f.Active(q, c.Round) {
+				d.Add(q)
+			}
+			return true
+		})
+		out.Crashes[p] = Crash{Round: c.Round, Delivered: d}
+	}
+	return out
+}
+
 // Adversary couples an input vector with a failure pattern: the pair
 // α = (v⃗, F) of the paper. It fully determines a run of any deterministic
 // protocol.
@@ -232,4 +252,12 @@ func (a *Adversary) Validate(t, maxValue int) error {
 // String renders the adversary.
 func (a *Adversary) String() string {
 	return fmt.Sprintf("adv(inputs=%v, %s)", a.Inputs, a.Pattern)
+}
+
+// Fingerprint returns a canonical identity string for the adversary:
+// structurally equal adversaries — equal inputs and observably equal
+// failure patterns, however they were built — share a fingerprint.
+// Caches keyed by adversary should use it instead of pointer identity.
+func (a *Adversary) Fingerprint() string {
+	return fmt.Sprintf("%v|%s", a.Inputs, a.Pattern.Canonical())
 }

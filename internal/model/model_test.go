@@ -320,3 +320,73 @@ func TestQuickDeliveryMonotonicity(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCanonicalStripsUnobservableDeliveries(t *testing.T) {
+	// Process 0 crashes in round 1 delivering to 1 (also crashing in
+	// round 1, i.e. dead at receipt time 1) and to 2 (alive). The
+	// delivery to 1 and any self-delivery are unobservable.
+	full := NewBuilder(4, 0).
+		CrashSendingTo(0, 1, 1, 2).
+		CrashSilent(1, 1).
+		MustBuild()
+	canon := full.Pattern.Canonical()
+	if canon.Crashes[0].Delivered.Contains(1) {
+		t.Error("delivery to a dead receiver survived canonicalization")
+	}
+	if !canon.Crashes[0].Delivered.Contains(2) {
+		t.Error("delivery to a live receiver was stripped")
+	}
+	if canon.CrashRound(0) != 1 || canon.CrashRound(1) != 1 {
+		t.Error("canonicalization changed crash rounds")
+	}
+	// Canonicalization is idempotent.
+	if canon.Canonical().String() != canon.String() {
+		t.Error("Canonical is not idempotent")
+	}
+	// The original pattern is untouched.
+	if !full.Pattern.Crashes[0].Delivered.Contains(1) {
+		t.Error("Canonical mutated its receiver")
+	}
+}
+
+func TestFingerprintIdentifiesEqualAdversaries(t *testing.T) {
+	build := func() *Adversary {
+		return NewBuilder(5, 1).Input(0, 0).CrashSendingTo(4, 1, 3).MustBuild()
+	}
+	if build().Fingerprint() != build().Fingerprint() {
+		t.Error("separately built equal adversaries must share a fingerprint")
+	}
+	// Observably equal but structurally different: delivering to a dead
+	// process is unobservable.
+	a := NewBuilder(4, 1).CrashSendingTo(0, 1, 2).CrashSilent(1, 1).MustBuild()
+	b := NewBuilder(4, 1).CrashSendingTo(0, 1, 1, 2).CrashSilent(1, 1).MustBuild()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("unobservable delivery changed the fingerprint:\n%s\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+	// Different inputs or patterns must differ.
+	c := NewBuilder(5, 1).Input(0, 1).CrashSendingTo(4, 1, 3).MustBuild()
+	if c.Fingerprint() == build().Fingerprint() {
+		t.Error("different inputs share a fingerprint")
+	}
+	d := NewBuilder(5, 1).Input(0, 0).CrashSendingTo(4, 2, 3).MustBuild()
+	if d.Fingerprint() == build().Fingerprint() {
+		t.Error("different crash rounds share a fingerprint")
+	}
+}
+
+func TestFamiliesMetadata(t *testing.T) {
+	fams := Families()
+	if len(fams) != 5 {
+		t.Fatalf("got %d families", len(fams))
+	}
+	seen := map[string]bool{}
+	for _, f := range fams {
+		if f.Name == "" || f.Summary == "" {
+			t.Errorf("incomplete family metadata: %+v", f)
+		}
+		if seen[f.Name] {
+			t.Errorf("duplicate family %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+}

@@ -3,6 +3,7 @@ package setconsensus
 import (
 	"fmt"
 	goruntime "runtime"
+	"strings"
 )
 
 // BackendKind selects which of the three execution backends an Engine
@@ -40,15 +41,23 @@ func (b BackendKind) String() string {
 	return fmt.Sprintf("BackendKind(%d)", int(b))
 }
 
-// ParseBackend resolves a backend name ("oracle", "goroutines", "wire").
+// ParseBackend resolves a backend name ("oracle", "goroutines", "wire"),
+// case-insensitively and ignoring surrounding whitespace.
 func ParseBackend(name string) (BackendKind, error) {
+	key := strings.TrimSpace(name)
 	for _, b := range []BackendKind{Oracle, Goroutines, Wire} {
-		if b.String() == name {
+		if strings.EqualFold(b.String(), key) {
 			return b, nil
 		}
 	}
 	return 0, fmt.Errorf("unknown backend %q (want oracle | goroutines | wire)", name)
 }
+
+// PatternCrashBound is the WithCrashBound value that sets t per run to
+// the adversary's own failure count — the exact bound the named family
+// curves are designed for (the collapse family's t = k(r+1) is precisely
+// its crasher count), where a fixed t cannot fit a range-swept workload.
+const PatternCrashBound = -2
 
 // EngineParams is the full configuration of an Engine. Construct it via
 // DefaultEngineParams and the functional Options; New validates it.
@@ -56,7 +65,8 @@ func ParseBackend(name string) (BackendKind, error) {
 // Defaults (DefaultEngineParams):
 //
 //	Backend      Oracle   reference full-information simulator
-//	T            -1       crash bound; -1 means n−1 per adversary
+//	T            -1       crash bound; -1 means n−1 per adversary,
+//	                      PatternCrashBound (-2) the adversary's failure count
 //	K            1        coordination degree (1 = consensus)
 //	Horizon      0        0 means each protocol's WorstCaseTime
 //	GraphCache   64       cached knowledge graphs; 0 disables
@@ -89,8 +99,8 @@ func (p EngineParams) Validate() error {
 	default:
 		return fmt.Errorf("engine: unknown backend %d", int(p.Backend))
 	}
-	if p.T < -1 {
-		return fmt.Errorf("engine: crash bound t must be ≥ 0 (or -1 for n−1), got %d", p.T)
+	if p.T < PatternCrashBound {
+		return fmt.Errorf("engine: crash bound t must be ≥ 0 (or -1 for n−1, -2 for the pattern's failure count), got %d", p.T)
 	}
 	if p.K < 1 {
 		return fmt.Errorf("engine: need degree k ≥ 1, got %d", p.K)
@@ -124,7 +134,9 @@ func WithBackend(b BackendKind) Option {
 }
 
 // WithCrashBound sets the a-priori crash bound t used for every run.
-// Pass -1 (the default) to use n−1 for each adversary.
+// Pass -1 (the default) to use n−1 for each adversary, or
+// PatternCrashBound to use each adversary's own failure count — the
+// designed bound of the named family workloads.
 func WithCrashBound(t int) Option {
 	return func(c *engineConfig) { c.params.T = t }
 }
