@@ -11,20 +11,48 @@ import (
 	"setconsensus/internal/wire"
 )
 
+// RunRequest carries everything one protocol run needs. The Engine
+// assembles it once per (protocol, adversary) pair and shares the
+// expensive parts across the runs of a sweep: the knowledge graph and
+// the rendered adversary string are per-adversary, the constructed
+// protocol instance and its runtime name are cached per (ref, params).
+type RunRequest struct {
+	// Ref is the registry name the protocol was resolved from.
+	Ref  string
+	Spec *ProtocolSpec
+	// Proto is the constructed full-information protocol instance, nil
+	// when construction fails under these params (ProtoErr then holds
+	// why; the compact backends can still run their wire rule).
+	// Instances are cached and shared across runs and workers: decision
+	// rules are pure functions of the view, so sharing is safe by
+	// construction.
+	Proto    Protocol
+	ProtoErr error
+	// Name is the runtime display name ("Optmin[2]").
+	Name   string
+	Params Params
+	Adv    *model.Adversary
+	// AdvStr is Adv.String(), rendered once per adversary rather than
+	// once per run.
+	AdvStr string
+	// Graph is non-nil exactly when the backend's NeedsGraph reports
+	// true.
+	Graph *knowledge.Graph
+}
+
 // Backend executes one protocol run. The three implementations adapt the
 // oracle simulator (internal/sim), the goroutine message-passing engine
 // (internal/runtime), and the compact wire runner (internal/wire) to one
-// contract: resolve the spec, run it against the adversary, return a
-// unified Result — errors, never panics.
+// contract: run the prepared request, return a unified Result — errors,
+// never panics.
 type Backend interface {
 	// Kind identifies the backend.
 	Kind() BackendKind
 	// NeedsGraph reports whether Run requires a precomputed knowledge
 	// graph; the Engine supplies (and shares) one when it does.
 	NeedsGraph() bool
-	// Run executes spec against adv under params p. g is non-nil exactly
-	// when NeedsGraph reports true.
-	Run(ctx context.Context, ref string, spec *ProtocolSpec, p Params, adv *model.Adversary, g *knowledge.Graph) (*Result, error)
+	// Run executes the request.
+	Run(ctx context.Context, req *RunRequest) (*Result, error)
 }
 
 // backendFor maps a kind to its implementation.
@@ -57,18 +85,17 @@ type oracleBackend struct{}
 func (oracleBackend) Kind() BackendKind { return Oracle }
 func (oracleBackend) NeedsGraph() bool  { return true }
 
-func (oracleBackend) Run(ctx context.Context, ref string, spec *ProtocolSpec, p Params, adv *model.Adversary, g *knowledge.Graph) (*Result, error) {
-	proto, err := spec.New(p)
-	if err != nil {
-		return nil, err
+func (oracleBackend) Run(ctx context.Context, req *RunRequest) (*Result, error) {
+	if req.Proto == nil {
+		return nil, req.ProtoErr
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	simRes := sim.RunWithGraph(proto, g)
-	res := newResult(ref, proto.Name(), Oracle, p, adv, simRes.Decisions)
-	res.graph = g
-	res.GraphStats = graphStats(g)
+	simRes := sim.RunWithGraph(req.Proto, req.Graph)
+	res := newResult(req, Oracle, simRes.Decisions)
+	res.graph = req.Graph
+	res.GraphStats = graphStats(req.Graph)
 	return res, nil
 }
 
@@ -78,14 +105,14 @@ type goroutineBackend struct{}
 func (goroutineBackend) Kind() BackendKind { return Goroutines }
 func (goroutineBackend) NeedsGraph() bool  { return false }
 
-func (goroutineBackend) Run(ctx context.Context, ref string, spec *ProtocolSpec, p Params, adv *model.Adversary, _ *knowledge.Graph) (*Result, error) {
-	if err := requireWireCapable(spec, Goroutines); err != nil {
+func (goroutineBackend) Run(ctx context.Context, req *RunRequest) (*Result, error) {
+	if err := requireWireCapable(req.Spec, Goroutines); err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	rtRes, err := runtime.Run(spec.WireRule, p, adv)
+	rtRes, err := runtime.Run(req.Spec.WireRule, req.Params, req.Adv)
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +122,7 @@ func (goroutineBackend) Run(ctx context.Context, ref string, spec *ProtocolSpec,
 			decisions[i] = &Decision{Value: d.Value, Time: d.Time}
 		}
 	}
-	return newResult(ref, protocolRuntimeName(spec, p), Goroutines, p, adv, decisions), nil
+	return newResult(req, Goroutines, decisions), nil
 }
 
 // wireBackend runs the deterministic compact-protocol runner with bit
@@ -105,14 +132,14 @@ type wireBackend struct{}
 func (wireBackend) Kind() BackendKind { return Wire }
 func (wireBackend) NeedsGraph() bool  { return false }
 
-func (wireBackend) Run(ctx context.Context, ref string, spec *ProtocolSpec, p Params, adv *model.Adversary, _ *knowledge.Graph) (*Result, error) {
-	if err := requireWireCapable(spec, Wire); err != nil {
+func (wireBackend) Run(ctx context.Context, req *RunRequest) (*Result, error) {
+	if err := requireWireCapable(req.Spec, Wire); err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	wRes, err := wire.Run(spec.WireRule, p, adv)
+	wRes, err := wire.Run(req.Spec.WireRule, req.Params, req.Adv)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +149,7 @@ func (wireBackend) Run(ctx context.Context, ref string, spec *ProtocolSpec, p Pa
 			decisions[i] = &Decision{Value: d.Value, Time: d.Time}
 		}
 	}
-	res := newResult(ref, protocolRuntimeName(spec, p), Wire, p, adv, decisions)
+	res := newResult(req, Wire, decisions)
 	res.Bits = bitStats(wRes)
 	return res, nil
 }

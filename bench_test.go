@@ -83,6 +83,67 @@ func BenchmarkHCNaive(b *testing.B) {
 	}
 }
 
+// Graph construction: the arena-backed knowledge.New on a mid-size
+// collapse adversary. Allocations are the headline number — the build is
+// a handful of slab allocations regardless of n and horizon.
+func BenchmarkGraphNew(b *testing.B) {
+	adv, err := model.Collapse(model.CollapseParams{K: 3, R: 6, ExtraCorrect: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		knowledge.New(adv, 8)
+	}
+}
+
+// Graph construction through one Builder with Release between builds:
+// the steady state of an aggregating sweep shard, where the arena is
+// recycled and the build allocates (almost) nothing.
+func BenchmarkGraphBuilderReuse(b *testing.B) {
+	adv, err := model.Collapse(model.CollapseParams{K: 3, R: 6, ExtraCorrect: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	builder := knowledge.NewBuilder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder.Build(adv, 8).Release()
+	}
+}
+
+// View fingerprinting: the binary encoding over every process at the
+// horizon, the interning workload of the unbeatability search.
+func BenchmarkFingerprint(b *testing.B) {
+	adv, err := model.Collapse(model.CollapseParams{K: 3, R: 6, ExtraCorrect: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := knowledge.New(adv, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < adv.N(); p++ {
+			g.Fingerprint(p, 8)
+		}
+	}
+}
+
+// Adversary fingerprinting: the binary graph-cache key in the Engine.
+func BenchmarkAdversaryFingerprint(b *testing.B) {
+	adv, err := model.Collapse(model.CollapseParams{K: 3, R: 6, ExtraCorrect: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv.Fingerprint()
+	}
+}
+
 // Ablation: full-information oracle vs compact wire protocol on the same
 // run (decision-time-identical; the wire pays message handling, the
 // oracle pays view union).

@@ -109,6 +109,39 @@
 // remain exported for single-shot use and for the analysis tooling
 // (certificates, searches, topology).
 //
+// # Performance
+//
+// The fleet-wide hot path is knowledge-graph construction: every oracle
+// run pays one graph per adversary, and SweepSource streams tens of
+// thousands of adversaries through it. The graph is therefore
+// arena-backed: all layer bitsets and value sets live in a single
+// []uint64 slab, the derived tables (known crashes, hidden counts,
+// hidden capacity, failure counts, minima) are flat []int slabs indexed
+// by stride arithmetic, and the paper's Definition 2/3 set computations
+// run word-parallel over the arena (internal/bitset supplies the
+// AndNotCount / OrCount / CopyFrom kernels). Building a graph costs six
+// allocations regardless of n and horizon; a knowledge.Builder with
+// Graph.Release recycles even those, and aggregating sweeps
+// (SweepSource with the graph cache disabled) give each worker a
+// private builder so a whole shard reuses one arena. Equivalence with
+// the retained naive implementation is enforced node-for-node over
+// randomized adversaries (internal/knowledge/equiv_test.go).
+//
+// Cache keys are compact binary encodings, not rendered strings: both
+// the per-view Fingerprint (view interning in the unbeatability search
+// and protocol complexes) and Adversary.Fingerprint (the engine's graph
+// cache) encode varints plus raw bitset words and are hashed once by
+// the map that holds them. Protocol instances are cached per
+// (ref, params) — decision rules are pure functions of the view, so one
+// instance serves all workers.
+//
+// BENCH_baseline.json records the measured trajectory per PR; CI
+// uploads benchstat-comparable output (bench-graph.txt) per run. To
+// profile locally:
+//
+//	go test -run xxx -bench BenchmarkSweepSource -cpuprofile cpu.out .
+//	go tool pprof -top cpu.out
+//
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for the
 // measured reproduction of every figure and theorem.

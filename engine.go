@@ -32,6 +32,49 @@ type Engine struct {
 	graphOrder []graphKey // FIFO eviction
 	fps        map[*model.Adversary]string
 	fpOrder    []*model.Adversary // FIFO eviction, same bound as graphs
+	protos     map[protoKey]protoEntry
+	protoOrder []protoKey // FIFO eviction, bounded by protoCacheBound
+}
+
+// protoKey identifies a constructed protocol instance: same registry ref,
+// same parameters, same (stateless) decision rule.
+type protoKey struct {
+	ref string
+	p   Params
+}
+
+// protoEntry caches the outcome of ProtocolSpec.New for one key: the
+// shared instance and its runtime name, or the construction error. The
+// oracle backend consumes proto/err, the compact backends only the name.
+type protoEntry struct {
+	proto Protocol
+	name  string
+	err   error
+}
+
+// protoCacheBound bounds the protocol-instance cache. Keys vary only in
+// (ref, n, t, k), so workloads hit a handful of entries; the bound just
+// keeps pathological parameter sweeps from growing the map forever.
+const protoCacheBound = 512
+
+// insertBounded adds key→val to a FIFO-bounded cache, evicting oldest
+// entries until the bound holds. It is the single home of the eviction
+// invariant for all three engine caches (graphs, fingerprints,
+// protocols): bound ≤ 0 disables insertion outright rather than evicting
+// forever, and an existing key is left in place. Callers hold e.mu.
+func insertBounded[K comparable, V any](m map[K]V, order *[]K, key K, val V, bound int) {
+	if bound <= 0 {
+		return
+	}
+	if _, ok := m[key]; ok {
+		return
+	}
+	for len(*order) >= bound {
+		delete(m, (*order)[0])
+		*order = (*order)[1:]
+	}
+	m[key] = val
+	*order = append(*order, key)
 }
 
 // graphKey identifies a cached knowledge graph by the adversary's
@@ -55,6 +98,7 @@ func New(opts ...Option) *Engine {
 		reg:    cfg.reg,
 		graphs: make(map[graphKey]*knowledge.Graph),
 		fps:    make(map[*model.Adversary]string),
+		protos: make(map[protoKey]protoEntry),
 	}
 	if cfg.reg == nil {
 		e.err = fmt.Errorf("engine: nil registry")
@@ -112,12 +156,14 @@ func (e *Engine) horizonFor(specs []*ProtocolSpec, p Params) int {
 }
 
 // fingerprintFor memoizes Adversary.Fingerprint by pointer identity:
-// canonicalizing the failure pattern is ~10% of a cached sweep, and
-// repeated Run/Sweep calls overwhelmingly reuse the same adversary
-// value. Streamed sources yield fresh pointers and never hit, but their
-// miss cost (one map insert + eviction under a lock held for
-// nanoseconds) is noise next to the fingerprint computation itself,
-// which a miss pays either way. Bounded FIFO like the graph cache.
+// even with the compact binary encoding (varints + delivery-mask words,
+// hashed once by the cache map instead of the old fmt-rendered string),
+// deriving the key walks the whole failure pattern, and repeated
+// Run/Sweep calls overwhelmingly reuse the same adversary value.
+// Streamed sources yield fresh pointers and never hit, but their miss
+// cost (one map insert + eviction under a lock held for nanoseconds) is
+// noise next to the fingerprint computation itself, which a miss pays
+// either way. Bounded FIFO like the graph cache.
 func (e *Engine) fingerprintFor(adv *model.Adversary) string {
 	e.mu.Lock()
 	if fp, ok := e.fps[adv]; ok {
@@ -128,15 +174,7 @@ func (e *Engine) fingerprintFor(adv *model.Adversary) string {
 	fp := adv.Fingerprint()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, ok := e.fps[adv]; !ok {
-		for len(e.fpOrder) >= e.params.GraphCache {
-			oldest := e.fpOrder[0]
-			e.fpOrder = e.fpOrder[1:]
-			delete(e.fps, oldest)
-		}
-		e.fps[adv] = fp
-		e.fpOrder = append(e.fpOrder, adv)
-	}
+	insertBounded(e.fps, &e.fpOrder, adv, fp, e.params.GraphCache)
 	return fp
 }
 
@@ -160,14 +198,36 @@ func (e *Engine) graphFor(adv *model.Adversary, horizon int) *knowledge.Graph {
 	if cached, ok := e.graphs[key]; ok {
 		return cached // another goroutine won the race; keep one copy
 	}
-	for len(e.graphOrder) >= e.params.GraphCache {
-		oldest := e.graphOrder[0]
-		e.graphOrder = e.graphOrder[1:]
-		delete(e.graphs, oldest)
-	}
-	e.graphs[key] = g
-	e.graphOrder = append(e.graphOrder, key)
+	insertBounded(e.graphs, &e.graphOrder, key, g, e.params.GraphCache)
 	return g
+}
+
+// protoFor resolves the shared protocol instance and runtime name for
+// (ref, p), constructing and caching on first use. Protocol instances
+// are pure decision rules (sim.Protocol's contract), so one instance
+// serves every worker concurrently; the cache turns a per-run
+// construct-and-format into a map hit.
+func (e *Engine) protoFor(ref string, spec *ProtocolSpec, p Params) protoEntry {
+	key := protoKey{ref: ref, p: p}
+	e.mu.Lock()
+	if ent, ok := e.protos[key]; ok {
+		e.mu.Unlock()
+		return ent
+	}
+	e.mu.Unlock()
+	ent := protoEntry{name: spec.Name}
+	if proto, err := spec.New(p); err == nil {
+		ent.proto, ent.name = proto, proto.Name()
+	} else {
+		ent.err = err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cached, ok := e.protos[key]; ok {
+		return cached
+	}
+	insertBounded(e.protos, &e.protoOrder, key, ent, protoCacheBound)
+	return ent
 }
 
 // CachedGraphs reports how many knowledge graphs the engine currently
@@ -199,7 +259,18 @@ func (e *Engine) Run(ctx context.Context, ref string, adv *Adversary) (*Result, 
 	if e.backend.NeedsGraph() {
 		g = e.graphFor(adv, e.horizonFor([]*ProtocolSpec{spec}, p))
 	}
-	return e.backend.Run(ctx, ref, spec, p, adv, g)
+	ent := e.protoFor(ref, spec, p)
+	return e.backend.Run(ctx, newRunRequest(ref, spec, ent, p, adv, adv.String(), g))
+}
+
+// newRunRequest is the single place a protoEntry is wired into a
+// RunRequest, shared by the single-run and sweep paths.
+func newRunRequest(ref string, spec *ProtocolSpec, ent protoEntry, p Params, adv *Adversary, advStr string, g *knowledge.Graph) *RunRequest {
+	return &RunRequest{
+		Ref: ref, Spec: spec,
+		Proto: ent.proto, ProtoErr: ent.err, Name: ent.name,
+		Params: p, Adv: adv, AdvStr: advStr, Graph: g,
+	}
 }
 
 // Sweep runs every named protocol against every adversary and returns
@@ -217,7 +288,7 @@ func (e *Engine) Sweep(ctx context.Context, refs []string, advs []*Adversary) ([
 	results := make([]*Result, len(refs)*len(advs))
 	err := e.sweep(ctx, refs, SliceSource(advs...), func(advIdx, refIdx int, r *Result) {
 		results[advIdx*len(refs)+refIdx] = r
-	})
+	}, false)
 	if err != nil {
 		return nil, err
 	}
@@ -250,7 +321,11 @@ func (e *Engine) SweepSource(ctx context.Context, refs []string, src Source) (*S
 	if err != nil {
 		return nil, err
 	}
-	if err := e.sweep(ctx, refs, src, func(_, _ int, r *Result) { agg.Add(r) }); err != nil {
+	// This is the one sweep variant whose results provably do not escape:
+	// every Result is folded into the aggregator inside the deliver call
+	// and dropped. That makes graph recycling safe, so each worker reuses
+	// one arena across its whole shard when the cache is off.
+	if err := e.sweep(ctx, refs, src, func(_, _ int, r *Result) { agg.Add(r) }, true); err != nil {
 		return nil, err
 	}
 	return agg.Summary(), nil
@@ -268,7 +343,7 @@ func (e *Engine) SweepSourceStream(ctx context.Context, refs []string, src Sourc
 		mu.Lock()
 		defer mu.Unlock()
 		emit(r)
-	})
+	}, false) // emit may retain results (and their graphs): never recycle
 }
 
 // sourceChunk bounds how many adversaries a worker claims at once from a
@@ -304,7 +379,13 @@ type sweepChunk struct {
 // variants: a feeder goroutine cuts the source into deterministic chunks,
 // a worker pool runs sweepOne per adversary, deliver receives every
 // result tagged with its global adversary and protocol indices.
-func (e *Engine) sweep(ctx context.Context, refs []string, src Source, deliver func(advIdx, refIdx int, r *Result)) error {
+//
+// recycle declares that deliver drops every Result before returning (the
+// aggregating path). Combined with a disabled graph cache it lets each
+// worker rebuild its knowledge graphs in one reused arena instead of
+// allocating a fresh one per adversary; with caching on, graphs are
+// shared and retained, so recycling never applies.
+func (e *Engine) sweep(ctx context.Context, refs []string, src Source, deliver func(advIdx, refIdx int, r *Result), recycle bool) error {
 	if e.err != nil {
 		return e.err
 	}
@@ -347,9 +428,14 @@ func (e *Engine) sweep(ctx context.Context, refs []string, src Source, deliver f
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var builder *knowledge.Builder
+			if recycle && e.params.GraphCache == 0 && e.backend.NeedsGraph() {
+				builder = knowledge.NewBuilder()
+			}
+			var memo protoMemo
 			for chunk := range jobs {
 				for i, adv := range chunk.advs {
-					if err := e.sweepOne(ctx, refs, specs, adv, chunk.base+i, deliver); err != nil {
+					if err := e.sweepOne(ctx, refs, specs, adv, chunk.base+i, deliver, builder, &memo); err != nil {
 						fail(err)
 						return
 					}
@@ -396,22 +482,49 @@ func (e *Engine) sweep(ctx context.Context, refs []string, src Source, deliver f
 	return ctx.Err()
 }
 
+// protoMemo is a worker-local memo of the resolved protocol entries for
+// one Params value. Within a sweep the params only change when the
+// workload varies n or t per adversary, so the memo keeps the hot loop
+// off the engine-global cache mutex entirely.
+type protoMemo struct {
+	valid   bool
+	p       Params
+	entries []protoEntry
+}
+
 // sweepOne runs all protocols of a sweep against one adversary, sharing
-// one knowledge graph across them on graph-consuming backends.
-func (e *Engine) sweepOne(ctx context.Context, refs []string, specs []*ProtocolSpec, adv *Adversary, advIdx int, deliver func(advIdx, refIdx int, r *Result)) error {
+// one knowledge graph and one rendered adversary string across them. A
+// non-nil builder rebuilds the graph in the worker's reused arena and
+// releases it once every protocol's result has been delivered — callers
+// pass one only when deliver provably drops each Result (see sweep).
+func (e *Engine) sweepOne(ctx context.Context, refs []string, specs []*ProtocolSpec, adv *Adversary, advIdx int, deliver func(advIdx, refIdx int, r *Result), builder *knowledge.Builder, memo *protoMemo) error {
 	p, err := e.runParams(adv)
 	if err != nil {
 		return err
 	}
+	if !memo.valid || memo.p != p {
+		memo.entries = memo.entries[:0]
+		for refIdx, spec := range specs {
+			memo.entries = append(memo.entries, e.protoFor(refs[refIdx], spec, p))
+		}
+		memo.p, memo.valid = p, true
+	}
 	var g *knowledge.Graph
 	if e.backend.NeedsGraph() {
-		g = e.graphFor(adv, e.horizonFor(specs, p))
+		horizon := e.horizonFor(specs, p)
+		if builder != nil {
+			g = builder.Build(adv, horizon)
+			defer g.Release()
+		} else {
+			g = e.graphFor(adv, horizon)
+		}
 	}
+	advStr := adv.String()
 	for refIdx, spec := range specs {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		res, err := e.backend.Run(ctx, refs[refIdx], spec, p, adv, g)
+		res, err := e.backend.Run(ctx, newRunRequest(refs[refIdx], spec, memo.entries[refIdx], p, adv, advStr, g))
 		if err != nil {
 			return err
 		}

@@ -146,6 +146,82 @@ func (s *Set) SubtractWith(o *Set) *Set {
 	return s
 }
 
+// CopyFrom makes s hold exactly the elements of o, reusing s's backing
+// array when it is large enough, and returns s. It is the in-place
+// counterpart of Clone for scratch buffers on hot paths.
+func (s *Set) CopyFrom(o *Set) *Set {
+	if o == nil {
+		for i := range s.words {
+			s.words[i] = 0
+		}
+		return s
+	}
+	if cap(s.words) < len(o.words) {
+		s.words = make([]uint64, len(o.words))
+	}
+	s.words = s.words[:len(o.words)]
+	copy(s.words, o.words)
+	return s
+}
+
+// Words returns the backing word slice: bit j of Words()[i] is element
+// i*64+j. The slice aliases the set — callers must not grow it, and
+// writes through it are writes to the set. It exists so flat-arena
+// layouts (internal/knowledge) can run word-parallel kernels without
+// copying.
+func (s *Set) Words() []uint64 {
+	if s == nil {
+		return nil
+	}
+	return s.words
+}
+
+// Wrap returns a Set value whose storage is exactly the given word slice,
+// aliasing it: mutations of the set write into words. The capacity is
+// clipped to len(words), so a mutating method that needs to grow
+// reallocates and detaches from the arena rather than appending into a
+// shared slab's spare capacity; arena owners should still size words for
+// the full element range to keep aliasing writes aliased.
+func Wrap(words []uint64) Set { return Set{words: words[:len(words):len(words)]} }
+
+// AndNotCount returns |s \ o| without materializing the difference.
+func AndNotCount(s, o *Set) int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for i, w := range s.words {
+		if o != nil && i < len(o.words) {
+			w &^= o.words[i]
+		}
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// OrCount returns |s ∪ o| without materializing the union.
+func OrCount(s, o *Set) int {
+	a, b := s, o
+	if a == nil {
+		a = &Set{}
+	}
+	if b == nil {
+		b = &Set{}
+	}
+	long, short := a.words, b.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	n := 0
+	for i, w := range short {
+		n += bits.OnesCount64(w | long[i])
+	}
+	for _, w := range long[len(short):] {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
 // Union returns a fresh set holding s ∪ o.
 func Union(s, o *Set) *Set { return s.Clone().UnionWith(o) }
 

@@ -247,3 +247,134 @@ func BenchmarkCount(b *testing.B) {
 		}
 	}
 }
+
+func TestCopyFrom(t *testing.T) {
+	src := FromSlice([]int{1, 63, 64, 130})
+	dst := FromSlice([]int{2, 200, 500})
+	if got := dst.CopyFrom(src); got != dst {
+		t.Fatal("CopyFrom must return the receiver")
+	}
+	if !dst.Equal(src) {
+		t.Fatalf("copy mismatch: %s vs %s", dst, src)
+	}
+	// The copy must be independent of the source.
+	src.Add(7)
+	if dst.Contains(7) {
+		t.Error("CopyFrom aliased the source")
+	}
+	// Shrinking copy into a larger buffer must clear the tail.
+	big := FromSlice([]int{500})
+	big.CopyFrom(FromSlice([]int{3}))
+	if big.Contains(500) || !big.Contains(3) || big.Count() != 1 {
+		t.Errorf("stale tail after shrinking CopyFrom: %s", big)
+	}
+	// nil source empties the receiver in place.
+	big.CopyFrom(nil)
+	if !big.Empty() {
+		t.Errorf("CopyFrom(nil) left %s", big)
+	}
+}
+
+func TestWordsAliases(t *testing.T) {
+	s := New(128).Add(0).Add(64)
+	w := s.Words()
+	if len(w) != 2 || w[0] != 1 || w[1] != 1 {
+		t.Fatalf("unexpected words %v", w)
+	}
+	w[0] |= 1 << 5
+	if !s.Contains(5) {
+		t.Error("Words must alias the set storage")
+	}
+	var nilSet *Set
+	if nilSet.Words() != nil {
+		t.Error("nil set must have nil words")
+	}
+}
+
+func TestWrapAliases(t *testing.T) {
+	arena := make([]uint64, 2)
+	s := Wrap(arena)
+	s.Add(70)
+	if arena[1] != 1<<6 {
+		t.Fatalf("Wrap set must write into the arena, got %v", arena)
+	}
+	arena[0] = 1 << 3
+	if !s.Contains(3) {
+		t.Error("arena writes must be visible through the wrapped set")
+	}
+}
+
+func TestAndNotCountPartialWords(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want int
+	}{
+		{nil, nil, 0},
+		{[]int{0, 63, 64, 127, 128}, nil, 5},
+		{[]int{0, 63, 64, 127, 128}, []int{63, 128}, 3},
+		{[]int{5}, []int{5, 700}, 0},
+		// a longer than b: the tail beyond b's words counts fully.
+		{[]int{10, 300, 301}, []int{10}, 2},
+		// b longer than a: b's tail is irrelevant.
+		{[]int{1}, []int{1, 2, 900}, 0},
+	}
+	for _, c := range cases {
+		a, b := FromSlice(c.a), FromSlice(c.b)
+		if got := AndNotCount(a, b); got != c.want {
+			t.Errorf("AndNotCount(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Subtract(a, b).Count(); got != c.want {
+			t.Errorf("materialized subtract disagrees on (%v, %v): %d vs %d", c.a, c.b, got, c.want)
+		}
+	}
+	if got := AndNotCount(nil, FromSlice([]int{1})); got != 0 {
+		t.Errorf("AndNotCount(nil, x) = %d", got)
+	}
+}
+
+func TestOrCountPartialWords(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want int
+	}{
+		{nil, nil, 0},
+		{[]int{0, 63}, nil, 2},
+		{nil, []int{64, 65}, 2},
+		{[]int{0, 63, 64}, []int{63, 64, 200}, 4},
+		// Unequal word lengths in both orders.
+		{[]int{1}, []int{1, 500}, 2},
+		{[]int{1, 500}, []int{1}, 2},
+	}
+	for _, c := range cases {
+		a, b := FromSlice(c.a), FromSlice(c.b)
+		if got := OrCount(a, b); got != c.want {
+			t.Errorf("OrCount(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Union(a, b).Count(); got != c.want {
+			t.Errorf("materialized union disagrees on (%v, %v): %d vs %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestQuickCountKernelsMatchMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		a, b := &Set{}, &Set{}
+		for i := 0; i < rng.Intn(40); i++ {
+			a.Add(rng.Intn(192))
+		}
+		for i := 0; i < rng.Intn(40); i++ {
+			b.Add(rng.Intn(192))
+		}
+		if got, want := AndNotCount(a, b), Subtract(a, b).Count(); got != want {
+			t.Fatalf("AndNotCount(%s, %s) = %d, want %d", a, b, got, want)
+		}
+		if got, want := OrCount(a, b), Union(a, b).Count(); got != want {
+			t.Fatalf("OrCount(%s, %s) = %d, want %d", a, b, got, want)
+		}
+		c := New(0).CopyFrom(a)
+		if !c.Equal(a) {
+			t.Fatalf("CopyFrom(%s) = %s", a, c)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package knowledge
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The benchmarks share one mid-size randomized adversary: 10 processes,
+// up to 6 crashers over 4 rounds — large enough that the word-parallel
+// kernels and the scalar reference visibly diverge.
+
+func BenchmarkBuildArena(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	adv := randomAdversary(rng, 10, 6, 4, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(adv, 6)
+	}
+}
+
+func BenchmarkBuildArenaReused(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	adv := randomAdversary(rng, 10, 6, 4, 3)
+	builder := NewBuilder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder.Build(adv, 6).Release()
+	}
+}
+
+// BenchmarkBuildReference is the retained naive implementation on the
+// same adversary: the denominator of the arena rewrite's win.
+func BenchmarkBuildReference(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	adv := randomAdversary(rng, 10, 6, 4, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		newReference(adv, 6)
+	}
+}
+
+func BenchmarkPersists(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	adv := randomAdversary(rng, 10, 6, 4, 3)
+	g := New(adv, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < 10; p++ {
+			g.Persists(p, 6, 1, 6)
+		}
+	}
+}

@@ -1,0 +1,407 @@
+package knowledge
+
+import (
+	"math/bits"
+	"sync"
+
+	"setconsensus/internal/bitset"
+	"setconsensus/internal/model"
+)
+
+// Builder constructs knowledge graphs with buffer reuse: the build-time
+// scratch (hoisted per-round crash sets, assignment frontiers, hidden
+// buckets) lives in the Builder across calls, and storage released by
+// Graph.Release is recycled into the next Build. A Builder is not safe
+// for concurrent use — engines hold one per worker.
+//
+// Graphs from Build are indistinguishable from graphs from New; the only
+// difference is the lifecycle contract that Release adds.
+type Builder struct {
+	sc    buildScratch
+	spare *storage
+}
+
+// NewBuilder returns an empty Builder. The zero value is also usable.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Build computes the communication graph of adv up to horizon, reusing
+// the builder's scratch and any storage a previous graph released.
+func (b *Builder) Build(adv *model.Adversary, horizon int) *Graph {
+	return build(adv, horizon, &b.sc, b)
+}
+
+// Release returns the graph's storage to the Builder that built it, for
+// reuse by its next Build. The caller asserts that nothing reachable
+// retains the graph: its views, sets, and tables are invalidated, and
+// any later query on it will panic or read another graph's data. Graphs
+// built by New do not recycle; Release on them is a no-op.
+func (g *Graph) Release() {
+	if g.owner == nil {
+		return
+	}
+	st := g.store
+	g.store = storage{}
+	g.knownCrash, g.hiddenCount, g.hc, g.fails, g.minVal = nil, nil, nil, nil, nil
+	g.owner.spare = &st
+	g.owner = nil
+}
+
+// crasher pairs a faulty process with its crash-round delivery set.
+type crasher struct {
+	proc int
+	del  *bitset.Set
+}
+
+// buildScratch is the per-build working memory, reused across builds by
+// Builders and pooled for New. Everything here is dead once build
+// returns; nothing in a Graph aliases it.
+type buildScratch struct {
+	cr    []int         // crash round per process (hoisted map lookups)
+	delOf []*bitset.Set // crash-round delivery set per faulty process
+	base  []int         // arena offset of each node's layer block
+	dead  []bitset.Set  // dead[ρ] = {j : crashRound(j) < ρ}, the hoisted "silent senders"
+	deadW []uint64      // slab behind dead
+	crash [][]crasher   // crash[ρ] = processes crashing in round ρ
+	bkt   [][]int       // bkt[ρ] = {j : knownCrash(j) == ρ} while filling hidden tables
+
+	// word-width frontier sets, re-wrapped over the slabs below per build
+	seen, assigned, u, newly, gset bitset.Set
+	assignedW, uW, newlyW, gsetW   []uint64
+}
+
+var scratchPool = sync.Pool{New: func() any { return &buildScratch{} }}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func resizeWords(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// prepare hoists everything build derives from the failure pattern alone:
+// crash rounds, per-round crasher lists with their delivery sets, and the
+// cumulative dead-before-ρ bitsets that computeKnownCrash previously
+// re-derived by scanning all n processes per seen node.
+func (sc *buildScratch) prepare(pat *model.FailurePattern, n, w, h int) {
+	sc.cr = resizeInts(sc.cr, n)
+	for i := 0; i < n; i++ {
+		sc.cr[i] = model.NoCrash
+	}
+	if cap(sc.delOf) < n {
+		sc.delOf = make([]*bitset.Set, n)
+	}
+	sc.delOf = sc.delOf[:n]
+	for i := range sc.delOf {
+		sc.delOf[i] = nil
+	}
+	if cap(sc.crash) < h+1 {
+		sc.crash = make([][]crasher, h+1)
+	}
+	sc.crash = sc.crash[:h+1]
+	for i := range sc.crash {
+		sc.crash[i] = sc.crash[i][:0]
+	}
+	sc.deadW = resizeWords(sc.deadW, (h+1)*w)
+	if cap(sc.dead) < h+1 {
+		sc.dead = make([]bitset.Set, h+1)
+	}
+	sc.dead = sc.dead[:h+1]
+	for rho := 0; rho <= h; rho++ {
+		sc.dead[rho] = bitset.Wrap(sc.deadW[rho*w : (rho+1)*w])
+	}
+	for p, c := range pat.Crashes {
+		sc.cr[p] = c.Round
+		sc.delOf[p] = c.Delivered
+		if c.Round <= h {
+			sc.crash[c.Round] = append(sc.crash[c.Round], crasher{proc: p, del: c.Delivered})
+		}
+		for rho := c.Round + 1; rho <= h; rho++ {
+			sc.deadW[rho*w+p>>6] |= 1 << uint(p&63)
+		}
+	}
+
+	sc.base = resizeInts(sc.base, (h+1)*n)
+	if cap(sc.bkt) < h+1 {
+		sc.bkt = make([][]int, h+1)
+	}
+	sc.bkt = sc.bkt[:h+1]
+	sc.assignedW = resizeWords(sc.assignedW, w)
+	sc.uW = resizeWords(sc.uW, w)
+	sc.newlyW = resizeWords(sc.newlyW, w)
+	sc.gsetW = resizeWords(sc.gsetW, w)
+	sc.assigned = bitset.Wrap(sc.assignedW)
+	sc.u = bitset.Wrap(sc.uW)
+	sc.newly = bitset.Wrap(sc.newlyW)
+	sc.gset = bitset.Wrap(sc.gsetW)
+}
+
+// ensure sizes the storage slabs, reusing released capacity when it fits.
+// Only the arena needs zeroing: every other slab is fully overwritten by
+// build, and the stale hiddenCount entries at layers l > m are unreachable
+// through the bounds-checked accessors.
+func (st *storage) ensure(arenaLen, sets, views, ints int) {
+	st.arena = resizeWords(st.arena, arenaLen)
+	if cap(st.sets) < sets {
+		st.sets = make([]bitset.Set, sets)
+	}
+	st.sets = st.sets[:sets]
+	if cap(st.ptrs) < sets {
+		st.ptrs = make([]*bitset.Set, sets)
+	}
+	st.ptrs = st.ptrs[:sets]
+	if cap(st.views) < views {
+		st.views = make([]View, views)
+	}
+	st.views = st.views[:views]
+	if cap(st.ints) < ints {
+		st.ints = make([]int, ints)
+	}
+	st.ints = st.ints[:ints]
+}
+
+// build is the shared core behind New and Builder.Build. It lays the
+// whole graph into flat storage: views first (word-parallel unions over
+// contiguous layer blocks), then knownCrash via the hoisted dead/crasher
+// sets, then the hidden tables as union popcounts, then value sets and
+// minima. Frozen nodes copy their predecessor's rows instead of
+// recomputing them.
+func build(adv *model.Adversary, horizon int, sc *buildScratch, owner *Builder) *Graph {
+	n := adv.N()
+	w := (n + 63) >> 6
+	h := horizon
+	maxV := -1
+	for _, v := range adv.Inputs {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	wv := 1
+	if maxV >= 0 {
+		wv = (maxV >> 6) + 1
+	}
+
+	sc.prepare(adv.Pattern, n, w, h)
+
+	// Count layer sets: every process has one layer at time 0; an active
+	// node at time m ≥ 1 owns m+1 fresh layers, a frozen node shares its
+	// predecessor's block.
+	totalSets := n
+	for m := 1; m <= h; m++ {
+		for i := 0; i < n; i++ {
+			if sc.cr[i] > m {
+				totalSets += m + 1
+			}
+		}
+	}
+	valsOff := totalSets * w
+	arenaLen := valsOff + (h+1)*n*wv
+	nodes := (h + 1) * n
+	kcLen := nodes * n
+	hidLen := nodes * (h + 1)
+	intsLen := kcLen + hidLen + 3*nodes
+
+	var st *storage
+	if owner != nil && owner.spare != nil {
+		st = owner.spare
+		owner.spare = nil
+	} else {
+		st = &storage{}
+	}
+	st.ensure(arenaLen, totalSets, nodes, intsLen)
+
+	g := &Graph{
+		Adv: adv, Horizon: h,
+		n: n, w: w, wv: wv,
+		store: *st, owner: owner,
+		valsOff: valsOff,
+	}
+	ints := g.store.ints
+	g.knownCrash = ints[:kcLen]
+	g.hiddenCount = ints[kcLen : kcLen+hidLen]
+	g.hc = ints[kcLen+hidLen : kcLen+hidLen+nodes]
+	g.fails = ints[kcLen+hidLen+nodes : kcLen+hidLen+2*nodes]
+	g.minVal = ints[kcLen+hidLen+2*nodes : kcLen+hidLen+3*nodes]
+	arena := g.store.arena
+
+	// ---- views ----
+	cursor, setIdx := 0, 0
+	newLayerBlock := func(count int) []*bitset.Set {
+		first := setIdx
+		for l := 0; l < count; l++ {
+			g.store.sets[setIdx] = bitset.Wrap(arena[cursor : cursor+w])
+			g.store.ptrs[setIdx] = &g.store.sets[setIdx]
+			cursor += w
+			setIdx++
+		}
+		return g.store.ptrs[first:setIdx:setIdx]
+	}
+	for i := 0; i < n; i++ {
+		sc.base[i] = cursor
+		layers := newLayerBlock(1)
+		arena[sc.base[i]+i>>6] |= 1 << uint(i&63)
+		g.store.views[i] = View{Proc: i, Time: 0, Layers: layers}
+	}
+	for m := 1; m <= h; m++ {
+		for i := 0; i < n; i++ {
+			node := m*n + i
+			if sc.cr[i] <= m { // frozen: no round-m receive
+				sc.base[node] = sc.base[node-n]
+				g.store.views[node] = View{Proc: i, Time: m, Layers: g.store.views[node-n].Layers}
+				continue
+			}
+			nb := cursor
+			sc.base[node] = nb
+			layers := newLayerBlock(m + 1)
+			for j := 0; j < n; j++ {
+				// Delivered(j, i, m) unrolled over the hoisted crash
+				// rounds: alive senders (and i itself) always deliver,
+				// round-m crashers per their delivery set.
+				if sc.cr[j] < m || (sc.cr[j] == m && !sc.delOf[j].Contains(i)) {
+					continue
+				}
+				prev := node - n - i + j // (m-1)*n + j
+				pl := len(g.store.views[prev].Layers)
+				src := arena[sc.base[prev] : sc.base[prev]+pl*w]
+				dst := arena[nb : nb+pl*w]
+				for x, sw := range src {
+					dst[x] |= sw
+				}
+			}
+			arena[nb+m*w+i>>6] |= 1 << uint(i&63)
+			g.store.views[node] = View{Proc: i, Time: m, Layers: layers}
+		}
+	}
+
+	// ---- knownCrash + failures known ----
+	for m := 0; m <= h; m++ {
+		for i := 0; i < n; i++ {
+			node := m*n + i
+			row := g.knownCrash[node*n : node*n+n]
+			if m > 0 && sc.cr[i] <= m {
+				copy(row, g.knownCrash[(node-n)*n:(node-n)*n+n])
+				g.fails[node] = g.fails[node-n]
+				continue
+			}
+			for j := range row {
+				row[j] = NoKnownCrash
+			}
+			sc.assigned.CopyFrom(nil)
+			nb := sc.base[node]
+			for rho := 1; rho <= m; rho++ {
+				seenW := arena[nb+rho*w : nb+(rho+1)*w]
+				empty := true
+				for _, sw := range seenW {
+					if sw != 0 {
+						empty = false
+						break
+					}
+				}
+				if empty {
+					continue
+				}
+				sc.seen = bitset.Wrap(seenW)
+				// U(ρ) = every process provably crashed by some seen
+				// ⟨h,ρ⟩: all senders silent since before ρ, plus each
+				// round-ρ crasher whose delivery set misses a seen node.
+				sc.u.CopyFrom(&sc.dead[rho])
+				for _, c := range sc.crash[rho] {
+					if bitset.AndNotCount(&sc.seen, c.del) > 0 {
+						sc.u.Add(c.proc)
+					}
+				}
+				// Ascending ρ ⇒ first assignment is the minimum.
+				sc.newly.CopyFrom(&sc.u).SubtractWith(&sc.assigned)
+				for wi, word := range sc.newly.Words() {
+					for word != 0 {
+						b := bits.TrailingZeros64(word)
+						row[wi*64+b] = rho
+						word &^= 1 << uint(b)
+					}
+				}
+				sc.assigned.UnionWith(&sc.u)
+			}
+			g.fails[node] = sc.assigned.Count()
+		}
+	}
+
+	// ---- hidden tables: count = n − |seen(ℓ) ∪ {j : knownCrash ≤ ℓ}| ----
+	hStride := h + 1
+	for m := 0; m <= h; m++ {
+		for i := 0; i < n; i++ {
+			node := m*n + i
+			row := g.knownCrash[node*n : node*n+n]
+			for l := 0; l <= m; l++ {
+				sc.bkt[l] = sc.bkt[l][:0]
+			}
+			for j := 0; j < n; j++ {
+				if r := row[j]; r <= m {
+					sc.bkt[r] = append(sc.bkt[r], j)
+				}
+			}
+			sc.gset.CopyFrom(nil)
+			L := len(g.store.views[node].Layers)
+			nb := sc.base[node]
+			hrow := g.hiddenCount[node*hStride : node*hStride+m+1]
+			minC := n
+			for l := 0; l <= m; l++ {
+				for _, j := range sc.bkt[l] {
+					sc.gset.Add(j)
+				}
+				var cnt int
+				if l < L {
+					sc.seen = bitset.Wrap(arena[nb+l*w : nb+(l+1)*w])
+					cnt = n - bitset.OrCount(&sc.seen, &sc.gset)
+				} else {
+					cnt = n - sc.gset.Count()
+				}
+				hrow[l] = cnt
+				if cnt < minC {
+					minC = cnt
+				}
+			}
+			g.hc[node] = minC
+		}
+	}
+
+	// ---- value sets + minima ----
+	for m := 0; m <= h; m++ {
+		for i := 0; i < n; i++ {
+			node := m*n + i
+			vrow := arena[valsOff+node*wv : valsOff+(node+1)*wv]
+			if m > 0 && sc.cr[i] <= m {
+				copy(vrow, arena[valsOff+(node-n)*wv:valsOff+(node-n+1)*wv])
+				g.minVal[node] = g.minVal[node-n]
+				continue
+			}
+			minV := model.Value(NoKnownCrash)
+			layer0 := arena[sc.base[node] : sc.base[node]+w]
+			for wi, word := range layer0 {
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					word &^= 1 << uint(b)
+					v := adv.Inputs[wi*64+b]
+					if v < 0 {
+						continue
+					}
+					vrow[v>>6] |= 1 << uint(v&63)
+					if v < minV {
+						minV = v
+					}
+				}
+			}
+			g.minVal[node] = minV
+		}
+	}
+	return g
+}

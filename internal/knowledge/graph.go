@@ -8,11 +8,25 @@
 // All protocols in this repository are full-information protocols
 // (following Coan's reduction, §2.1), so a protocol is exactly a decision
 // rule over the queries exposed here.
+//
+// # Layout
+//
+// A Graph is arena-backed: every layer bitset of every view and every
+// per-node value set lives in one flat []uint64 slab, and the derived
+// tables (knownCrash, hiddenCount, hc, failures known, minima) are flat
+// []int slabs indexed by (m,i,·) stride arithmetic. Construction runs
+// word-parallel — the per-round "dead before ρ" and per-crasher
+// non-delivery sets are hoisted once per graph, and the hidden tables are
+// union popcounts — so building a graph costs a handful of allocations
+// regardless of n and horizon. The naive implementation it replaced is
+// retained in reference.go and the two are cross-checked node-for-node
+// over randomized adversaries in equiv_test.go.
 package knowledge
 
 import (
+	"encoding/binary"
 	"fmt"
-	"strings"
+	"sync"
 
 	"setconsensus/internal/bitset"
 	"setconsensus/internal/model"
@@ -29,7 +43,8 @@ type View struct {
 	Proc model.Proc
 	Time int
 	// Layers[ℓ] = processes whose layer-ℓ node is seen. For a process
-	// crashed in round c, len(Layers) == c (layers 0..c−1 only).
+	// crashed in round c, len(Layers) == c (layers 0..c−1 only). The sets
+	// alias the graph's arena and must not be mutated.
 	Layers []*bitset.Set
 }
 
@@ -38,136 +53,88 @@ func (v *View) SeenAt(j model.Proc, l int) bool {
 	return l >= 0 && l < len(v.Layers) && v.Layers[l].Contains(j)
 }
 
+// storage is the recyclable backing memory of one Graph: the bitset
+// arena, the set-header and view slabs, and one []int slab partitioned
+// into the derived tables. Builder.Build reuses a released storage when
+// its capacity fits.
+type storage struct {
+	arena []uint64
+	sets  []bitset.Set
+	ptrs  []*bitset.Set
+	views []View
+	ints  []int
+	// senders is the lazily-built fingerprint sender-mask slab; it rides
+	// along in storage so fingerprint-heavy loops (view interning)
+	// recycle it with everything else.
+	senders []uint64
+}
+
 // Graph holds the communication graph of one adversary together with every
 // process's view at every time up to Horizon, plus the per-node
-// guaranteed-crash knowledge. It is immutable after construction.
+// guaranteed-crash knowledge. It is immutable after construction and safe
+// for concurrent readers.
 type Graph struct {
 	Adv     *model.Adversary
 	Horizon int
 
-	views [][]*View // views[m][i]
-	// knownCrash[m][i][j] = earliest round ρ such that ⟨i,m⟩ has proof
-	// that j crashed in a round ≤ ρ, or NoKnownCrash.
-	knownCrash [][][]int
-	// hiddenCount[m][i][l] = #{j : ⟨j,l⟩ hidden from ⟨i,m⟩}, l ≤ m.
-	hiddenCount [][][]int
-	// hc[m][i] = HC⟨i,m⟩ (Definition 2).
-	hc [][]int
+	n  int // processes
+	w  int // uint64 words per process set
+	wv int // uint64 words per value set
+
+	store storage
+	owner *Builder // set when built by a Builder; enables Release
+
+	// valsOff is the arena offset of the value-set region: the value set
+	// of node (m,i) occupies wv words at valsOff + node(m,i)*wv.
+	valsOff int
+
+	// Flat derived tables, all indexed through node(m,i) = m*n + i:
+	knownCrash  []int         // [node*n + j] = earliest provable crash round of j, or NoKnownCrash
+	hiddenCount []int         // [node*(Horizon+1) + l] = #hidden at layer l, l ≤ m
+	hc          []int         // [node] = HC⟨i,m⟩ (Definition 2)
+	fails       []int         // [node] = #processes provably crashed (d of Definition 3)
+	minVal      []model.Value // [node] = Min⟨i,m⟩, NoKnownCrash when Vals is empty
+
+	// sendersOnce guards the lazy build of store.senders —
+	// senders[(ρ*n+h)*w : +w] = {j : Delivered(j,h,ρ)} — which only
+	// Fingerprint needs (sweeps never pay for it).
+	sendersOnce sync.Once
+}
+
+// node maps (i,m) to its flat table index, panicking on out-of-range
+// coordinates: the old nested slices crashed on bad indices, and the
+// stride arithmetic must not quietly alias another node's data instead.
+func (g *Graph) node(i model.Proc, m int) int {
+	if i < 0 || i >= g.n || m < 0 || m > g.Horizon {
+		panic(fmt.Sprintf("knowledge: node ⟨%d,%d⟩ outside %d processes × horizon %d", i, m, g.n, g.Horizon))
+	}
+	return m*g.n + i
+}
+
+// proc bounds-checks a process argument j the same way.
+func (g *Graph) proc(j model.Proc) model.Proc {
+	if j < 0 || j >= g.n {
+		panic(fmt.Sprintf("knowledge: process %d outside 0..%d", j, g.n-1))
+	}
+	return j
 }
 
 // New computes the communication graph and all views of adv up to time
-// horizon (inclusive).
+// horizon (inclusive). The per-build scratch comes from a package-level
+// pool; the graph's own storage is freshly allocated and never recycled,
+// so graphs from New may be retained indefinitely (results and caches
+// do). Loops that build and drop many graphs should use a Builder.
 func New(adv *model.Adversary, horizon int) *Graph {
-	n := adv.N()
-	g := &Graph{Adv: adv, Horizon: horizon}
-	g.views = make([][]*View, horizon+1)
-	g.knownCrash = make([][][]int, horizon+1)
-
-	g.views[0] = make([]*View, n)
-	for i := 0; i < n; i++ {
-		g.views[0][i] = &View{Proc: i, Time: 0, Layers: []*bitset.Set{bitset.New(n).Add(i)}}
-	}
-	for m := 1; m <= horizon; m++ {
-		g.views[m] = make([]*View, n)
-		for i := 0; i < n; i++ {
-			if !adv.Pattern.Active(i, m) {
-				// Frozen: the process performed no round-m receive.
-				g.views[m][i] = &View{Proc: i, Time: m, Layers: g.views[m-1][i].Layers}
-				continue
-			}
-			layers := make([]*bitset.Set, m+1)
-			for l := range layers {
-				layers[l] = bitset.New(n)
-			}
-			for j := 0; j < n; j++ {
-				if !adv.Pattern.Delivered(j, i, m) {
-					continue
-				}
-				prev := g.views[m-1][j]
-				for l, set := range prev.Layers {
-					layers[l].UnionWith(set)
-				}
-			}
-			layers[m].Add(i)
-			g.views[m][i] = &View{Proc: i, Time: m, Layers: layers}
-		}
-	}
-	for m := 0; m <= horizon; m++ {
-		g.knownCrash[m] = make([][]int, n)
-		for i := 0; i < n; i++ {
-			g.knownCrash[m][i] = g.computeKnownCrash(i, m)
-		}
-	}
-	g.hiddenCount = make([][][]int, horizon+1)
-	g.hc = make([][]int, horizon+1)
-	for m := 0; m <= horizon; m++ {
-		g.hiddenCount[m] = make([][]int, n)
-		g.hc[m] = make([]int, n)
-		for i := 0; i < n; i++ {
-			counts := make([]int, m+1)
-			minC := n
-			for l := 0; l <= m; l++ {
-				c := 0
-				for j := 0; j < n; j++ {
-					if g.hiddenAt(i, m, j, l) {
-						c++
-					}
-				}
-				counts[l] = c
-				if c < minC {
-					minC = c
-				}
-			}
-			g.hiddenCount[m][i] = counts
-			g.hc[m][i] = minC
-		}
-	}
+	sc := scratchPool.Get().(*buildScratch)
+	g := build(adv, horizon, sc, nil)
+	scratchPool.Put(sc)
 	return g
-}
-
-// hiddenAt is the raw classification used to build the tables: neither
-// seen nor guaranteed crashed.
-func (g *Graph) hiddenAt(i model.Proc, m int, j model.Proc, l int) bool {
-	return !g.views[m][i].SeenAt(j, l) && g.knownCrash[m][i][j] > l
-}
-
-// computeKnownCrash derives, from ⟨i,m⟩'s view, for each process j the
-// earliest round ρ for which the view contains proof that j crashed in a
-// round ≤ ρ: some seen node ⟨h,ρ⟩ (h receiving at time ρ) did not receive
-// j's round-ρ message.
-func (g *Graph) computeKnownCrash(i model.Proc, m int) []int {
-	n := g.Adv.N()
-	out := make([]int, n)
-	for j := range out {
-		out[j] = NoKnownCrash
-	}
-	v := g.views[m][i]
-	for rho := 1; rho < len(v.Layers); rho++ {
-		v.Layers[rho].ForEach(func(h int) bool {
-			// ⟨h,ρ⟩ seen implies h was receiving at time ρ (it either
-			// relayed afterwards, requiring crashRound(h) > ρ, or h == i
-			// active at m ≥ ρ).
-			for j := 0; j < n; j++ {
-				if j == h {
-					continue
-				}
-				if !g.Adv.Pattern.Delivered(j, h, rho) && rho < out[j] {
-					out[j] = rho
-				}
-			}
-			return true
-		})
-	}
-	return out
 }
 
 // View returns the view of process i at time m. It panics if m exceeds the
 // horizon: that is a programming error in the caller, not a run condition.
 func (g *Graph) View(i model.Proc, m int) *View {
-	if m < 0 || m > g.Horizon {
-		panic(fmt.Sprintf("knowledge: view ⟨%d,%d⟩ outside horizon %d", i, m, g.Horizon))
-	}
-	return g.views[m][i]
+	return &g.store.views[g.node(i, m)]
 }
 
 // Seen reports whether ⟨j,ℓ⟩ is seen by ⟨i,m⟩.
@@ -176,22 +143,30 @@ func (g *Graph) Seen(i model.Proc, m int, j model.Proc, l int) bool {
 }
 
 // SeenSet returns the set of processes whose layer-ℓ node is seen by
-// ⟨i,m⟩ (a defensive copy).
+// ⟨i,m⟩ (a defensive copy). Hot paths iterate with ForEachSeen instead.
 func (g *Graph) SeenSet(i model.Proc, m, l int) *bitset.Set {
 	v := g.View(i, m)
 	if l < 0 || l >= len(v.Layers) {
-		return bitset.New(g.Adv.N())
+		return bitset.New(g.n)
 	}
 	return v.Layers[l].Clone()
+}
+
+// ForEachSeen calls fn for every process whose layer-ℓ node is seen by
+// ⟨i,m⟩, in increasing order, stopping early if fn returns false. It is
+// the allocation-free form of SeenSet(i, m, l).ForEach(fn).
+func (g *Graph) ForEachSeen(i model.Proc, m, l int, fn func(j model.Proc) bool) {
+	v := g.View(i, m)
+	if l < 0 || l >= len(v.Layers) {
+		return
+	}
+	v.Layers[l].ForEach(fn)
 }
 
 // KnownCrashRound returns the earliest round ρ such that ⟨i,m⟩ can prove j
 // crashed in a round ≤ ρ, or NoKnownCrash.
 func (g *Graph) KnownCrashRound(i model.Proc, m int, j model.Proc) int {
-	if m < 0 || m > g.Horizon {
-		panic(fmt.Sprintf("knowledge: ⟨%d,%d⟩ outside horizon %d", i, m, g.Horizon))
-	}
-	return g.knownCrash[m][i][j]
+	return g.knownCrash[g.node(i, m)*g.n+g.proc(j)]
 }
 
 // GuaranteedCrashed reports whether ⟨j,ℓ⟩ is guaranteed crashed at ⟨i,m⟩:
@@ -208,9 +183,8 @@ func (g *Graph) Hidden(i model.Proc, m int, j model.Proc, l int) bool {
 
 // HiddenSet returns the processes j with ⟨j,ℓ⟩ hidden from ⟨i,m⟩.
 func (g *Graph) HiddenSet(i model.Proc, m, l int) *bitset.Set {
-	n := g.Adv.N()
-	out := bitset.New(n)
-	for j := 0; j < n; j++ {
+	out := bitset.New(g.n)
+	for j := 0; j < g.n; j++ {
 		if g.Hidden(i, m, j, l) {
 			out.Add(j)
 		}
@@ -220,20 +194,17 @@ func (g *Graph) HiddenSet(i model.Proc, m, l int) *bitset.Set {
 
 // HiddenCount returns |HiddenSet(i,m,ℓ)| from the precomputed table.
 func (g *Graph) HiddenCount(i model.Proc, m, l int) int {
-	if m < 0 || m > g.Horizon {
-		panic(fmt.Sprintf("knowledge: ⟨%d,%d⟩ outside horizon %d", i, m, g.Horizon))
+	if l < 0 || l > m {
+		panic(fmt.Sprintf("knowledge: hidden count of layer %d at ⟨%d,%d⟩", l, i, m))
 	}
-	return g.hiddenCount[m][i][l]
+	return g.hiddenCount[g.node(i, m)*(g.Horizon+1)+l]
 }
 
 // HiddenCapacity returns HC⟨i,m⟩ of Definition 2: the maximum c such that
 // every layer ℓ ≤ m holds at least c nodes hidden from ⟨i,m⟩ — that is,
 // the minimum over layers of the per-layer hidden count.
 func (g *Graph) HiddenCapacity(i model.Proc, m int) int {
-	if m < 0 || m > g.Horizon {
-		panic(fmt.Sprintf("knowledge: ⟨%d,%d⟩ outside horizon %d", i, m, g.Horizon))
-	}
-	return g.hc[m][i]
+	return g.hc[g.node(i, m)]
 }
 
 // HiddenCapacityWitnesses returns, for each layer ℓ ≤ m, a set of exactly
@@ -250,33 +221,39 @@ func (g *Graph) HiddenCapacityWitnesses(i model.Proc, m int) [][]model.Proc {
 }
 
 // FailuresKnown returns the number of distinct processes that ⟨i,m⟩ can
-// prove to have crashed (the d of Definition 3).
+// prove to have crashed (the d of Definition 3), from the precomputed
+// table.
 func (g *Graph) FailuresKnown(i model.Proc, m int) int {
-	d := 0
-	for _, r := range g.knownCrash[m][i] {
-		if r != NoKnownCrash {
-			d++
-		}
+	return g.fails[g.node(i, m)]
+}
+
+// valsWords returns the arena-backed value-set words of node (i,m).
+func (g *Graph) valsWords(i model.Proc, m int) []uint64 {
+	off := g.valsOff + g.node(i, m)*g.wv
+	return g.store.arena[off : off+g.wv]
+}
+
+// valsContains reports v ∈ Vals⟨i,m⟩ without allocating.
+func (g *Graph) valsContains(i model.Proc, m int, v model.Value) bool {
+	if v < 0 || v >= g.wv*64 {
+		return false
 	}
-	return d
+	return g.valsWords(i, m)[v>>6]&(1<<uint(v&63)) != 0
 }
 
 // Vals returns the set of initial values v such that Ki∃v holds at ⟨i,m⟩:
-// the values of the layer-0 nodes seen by ⟨i,m⟩ (Definition 5).
+// the values of the layer-0 nodes seen by ⟨i,m⟩ (Definition 5). The set
+// is an independent copy of the precomputed table.
 func (g *Graph) Vals(i model.Proc, m int) *bitset.Set {
-	out := &bitset.Set{}
-	g.View(i, m).Layers[0].ForEach(func(j int) bool {
-		out.Add(g.Adv.Inputs[j])
-		return true
-	})
-	return out
+	s := bitset.Wrap(append([]uint64(nil), g.valsWords(i, m)...))
+	return &s
 }
 
 // Min returns Min⟨i,m⟩, the minimal value i has seen by time m. Every view
 // contains at least the process's own initial node, so Min is total.
 func (g *Graph) Min(i model.Proc, m int) model.Value {
-	v, ok := g.Vals(i, m).Min()
-	if !ok {
+	v := g.minVal[g.node(i, m)]
+	if v == NoKnownCrash {
 		panic(fmt.Sprintf("knowledge: empty Vals at ⟨%d,%d⟩", i, m))
 	}
 	return v
@@ -299,13 +276,13 @@ func (g *Graph) LastSeen(i model.Proc, m int, j model.Proc) int {
 
 // Persists implements Definition 3: whether i knows at time m that value v
 // will persist, given the a-priori crash bound t. The second disjunct is
-// vacuously true once i knows of at least t failures.
+// vacuously true once i knows of at least t failures. All queries run on
+// the precomputed tables; nothing allocates.
 func (g *Graph) Persists(i model.Proc, m int, v model.Value, t int) bool {
-	if m > 0 && g.Adv.Pattern.Active(i, m) && g.Vals(i, m-1).Contains(v) {
+	if m > 0 && g.Adv.Pattern.Active(i, m) && g.valsContains(i, m-1, v) {
 		return true
 	}
-	d := g.FailuresKnown(i, m)
-	need := t - d
+	need := t - g.FailuresKnown(i, m)
 	if need <= 0 {
 		return true
 	}
@@ -313,8 +290,8 @@ func (g *Graph) Persists(i model.Proc, m int, v model.Value, t int) bool {
 		return false
 	}
 	count := 0
-	g.SeenSet(i, m, m-1).ForEach(func(j int) bool {
-		if g.Vals(j, m-1).Contains(v) {
+	g.ForEachSeen(i, m, m-1, func(j model.Proc) bool {
+		if g.valsContains(j, m-1, v) {
 			count++
 		}
 		return count < need
@@ -322,32 +299,81 @@ func (g *Graph) Persists(i model.Proc, m int, v model.Value, t int) bool {
 	return count >= need
 }
 
-// Fingerprint returns a canonical string encoding of the view Gα(i,m) —
-// its node set, the in-neighbourhood of every non-initial node, and the
-// initial values labelling layer 0. Two nodes across (possibly different)
-// adversaries have equal local states in the full-information protocol iff
-// their fingerprints are equal. (The in-neighbourhoods determine the edge
-// set of the view: whenever ⟨h,ρ⟩ is in a view, all of h's round-ρ
-// senders are too.)
+// buildSenders fills the lazily-constructed per-(h,ρ) sender masks that
+// Fingerprint encodes. Sweeps never call Fingerprint and never pay this;
+// the slab reuses recycled storage capacity when a Builder provides it.
+func (g *Graph) buildSenders() {
+	pat := g.Adv.Pattern
+	need := (g.Horizon + 1) * g.n * g.w
+	if cap(g.store.senders) < need {
+		g.store.senders = make([]uint64, need)
+	} else {
+		g.store.senders = g.store.senders[:need]
+		for i := range g.store.senders {
+			g.store.senders[i] = 0
+		}
+	}
+	for rho := 1; rho <= g.Horizon; rho++ {
+		for h := 0; h < g.n; h++ {
+			row := g.store.senders[(rho*g.n+h)*g.w:][:g.w]
+			for j := 0; j < g.n; j++ {
+				if pat.Delivered(j, h, rho) {
+					row[j>>6] |= 1 << uint(j&63)
+				}
+			}
+		}
+	}
+}
+
+// fpBufPool recycles fingerprint build buffers across calls.
+var fpBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// Fingerprint returns a canonical encoding of the view Gα(i,m) — its node
+// set, the in-neighbourhood of every non-initial node, and the initial
+// values labelling layer 0. Two nodes across (possibly different)
+// adversaries over the same number of processes have equal local states
+// in the full-information protocol iff their fingerprints are equal.
+// (The in-neighbourhoods determine the edge set of the view: whenever
+// ⟨h,ρ⟩ is in a view, all of h's round-ρ senders are too.)
+//
+// The encoding is compact binary — varint header plus raw bitset words —
+// built in one pooled buffer; it replaced a fmt-rendered decimal string
+// whose construction dominated view-interning workloads. The bytes are
+// an opaque key: compare and hash them, do not parse them.
 func (g *Graph) Fingerprint(i model.Proc, m int) string {
 	v := g.View(i, m)
-	var b strings.Builder
-	fmt.Fprintf(&b, "⟨%d,%d⟩|", i, m)
-	v.Layers[0].ForEach(func(j int) bool {
-		fmt.Fprintf(&b, "0:%d=%d;", j, g.Adv.Inputs[j])
+	g.sendersOnce.Do(g.buildSenders)
+
+	bp := fpBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	var tmp [binary.MaxVarintLen64]byte
+	putU := func(x uint64) {
+		b = append(b, tmp[:binary.PutUvarint(tmp[:], x)]...)
+	}
+	putWords := func(words []uint64) {
+		for _, w := range words {
+			binary.LittleEndian.PutUint64(tmp[:8], w)
+			b = append(b, tmp[:8]...)
+		}
+	}
+	putU(uint64(i))
+	putU(uint64(m))
+	putU(uint64(len(v.Layers)))
+	layer0 := v.Layers[0]
+	putWords(layer0.Words())
+	layer0.ForEach(func(j int) bool {
+		b = append(b, tmp[:binary.PutVarint(tmp[:], int64(g.Adv.Inputs[j]))]...)
 		return true
 	})
 	for l := 1; l < len(v.Layers); l++ {
+		putWords(v.Layers[l].Words())
 		v.Layers[l].ForEach(func(h int) bool {
-			fmt.Fprintf(&b, "%d:%d<", l, h)
-			for j := 0; j < g.Adv.N(); j++ {
-				if g.Adv.Pattern.Delivered(j, h, l) {
-					fmt.Fprintf(&b, "%d,", j)
-				}
-			}
-			b.WriteByte(';')
+			putWords(g.store.senders[(l*g.n+h)*g.w:][:g.w])
 			return true
 		})
 	}
-	return b.String()
+	s := string(b)
+	*bp = b
+	fpBufPool.Put(bp)
+	return s
 }

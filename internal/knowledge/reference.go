@@ -1,0 +1,230 @@
+package knowledge
+
+import (
+	"fmt"
+	"strings"
+
+	"setconsensus/internal/bitset"
+	"setconsensus/internal/model"
+)
+
+// referenceGraph is the naive pointer-forest implementation the arena
+// Graph replaced. It is retained verbatim as the executable
+// specification: the randomized equivalence tests (equiv_test.go) check
+// every Graph query node-for-node against it, so any optimization of the
+// arena layout or the word-parallel kernels is gated by agreement with
+// this transparent O(n) -per-query code. It allocates freely and must
+// never be used on a hot path.
+type referenceGraph struct {
+	adv     *model.Adversary
+	horizon int
+
+	views       [][]*View // views[m][i]
+	knownCrash  [][][]int // knownCrash[m][i][j]
+	hiddenCount [][][]int // hiddenCount[m][i][l], l ≤ m
+	hc          [][]int   // hc[m][i]
+}
+
+// newReference computes the communication graph of adv exactly as the
+// pre-arena implementation did: one heap-allocated bitset per (view,
+// layer) and scalar per-(i,m,j,ℓ) classification loops.
+func newReference(adv *model.Adversary, horizon int) *referenceGraph {
+	n := adv.N()
+	g := &referenceGraph{adv: adv, horizon: horizon}
+	g.views = make([][]*View, horizon+1)
+	g.knownCrash = make([][][]int, horizon+1)
+
+	g.views[0] = make([]*View, n)
+	for i := 0; i < n; i++ {
+		g.views[0][i] = &View{Proc: i, Time: 0, Layers: []*bitset.Set{bitset.New(n).Add(i)}}
+	}
+	for m := 1; m <= horizon; m++ {
+		g.views[m] = make([]*View, n)
+		for i := 0; i < n; i++ {
+			if !adv.Pattern.Active(i, m) {
+				// Frozen: the process performed no round-m receive.
+				g.views[m][i] = &View{Proc: i, Time: m, Layers: g.views[m-1][i].Layers}
+				continue
+			}
+			layers := make([]*bitset.Set, m+1)
+			for l := range layers {
+				layers[l] = bitset.New(n)
+			}
+			for j := 0; j < n; j++ {
+				if !adv.Pattern.Delivered(j, i, m) {
+					continue
+				}
+				prev := g.views[m-1][j]
+				for l, set := range prev.Layers {
+					layers[l].UnionWith(set)
+				}
+			}
+			layers[m].Add(i)
+			g.views[m][i] = &View{Proc: i, Time: m, Layers: layers}
+		}
+	}
+	for m := 0; m <= horizon; m++ {
+		g.knownCrash[m] = make([][]int, n)
+		for i := 0; i < n; i++ {
+			g.knownCrash[m][i] = g.computeKnownCrash(i, m)
+		}
+	}
+	g.hiddenCount = make([][][]int, horizon+1)
+	g.hc = make([][]int, horizon+1)
+	for m := 0; m <= horizon; m++ {
+		g.hiddenCount[m] = make([][]int, n)
+		g.hc[m] = make([]int, n)
+		for i := 0; i < n; i++ {
+			counts := make([]int, m+1)
+			minC := n
+			for l := 0; l <= m; l++ {
+				c := 0
+				for j := 0; j < n; j++ {
+					if g.hiddenAt(i, m, j, l) {
+						c++
+					}
+				}
+				counts[l] = c
+				if c < minC {
+					minC = c
+				}
+			}
+			g.hiddenCount[m][i] = counts
+			g.hc[m][i] = minC
+		}
+	}
+	return g
+}
+
+func (g *referenceGraph) hiddenAt(i model.Proc, m int, j model.Proc, l int) bool {
+	return !g.views[m][i].SeenAt(j, l) && g.knownCrash[m][i][j] > l
+}
+
+// computeKnownCrash is the scalar per-seen-node rescan the word-parallel
+// build replaced: for every seen ⟨h,ρ⟩ it walks all n candidate senders.
+func (g *referenceGraph) computeKnownCrash(i model.Proc, m int) []int {
+	n := g.adv.N()
+	out := make([]int, n)
+	for j := range out {
+		out[j] = NoKnownCrash
+	}
+	v := g.views[m][i]
+	for rho := 1; rho < len(v.Layers); rho++ {
+		v.Layers[rho].ForEach(func(h int) bool {
+			for j := 0; j < n; j++ {
+				if j == h {
+					continue
+				}
+				if !g.adv.Pattern.Delivered(j, h, rho) && rho < out[j] {
+					out[j] = rho
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (g *referenceGraph) view(i model.Proc, m int) *View { return g.views[m][i] }
+
+func (g *referenceGraph) seen(i model.Proc, m int, j model.Proc, l int) bool {
+	return g.views[m][i].SeenAt(j, l)
+}
+
+func (g *referenceGraph) knownCrashRound(i model.Proc, m int, j model.Proc) int {
+	return g.knownCrash[m][i][j]
+}
+
+func (g *referenceGraph) hidden(i model.Proc, m int, j model.Proc, l int) bool {
+	return !g.seen(i, m, j, l) && g.knownCrash[m][i][j] > l
+}
+
+func (g *referenceGraph) hiddenCapacity(i model.Proc, m int) int { return g.hc[m][i] }
+
+func (g *referenceGraph) failuresKnown(i model.Proc, m int) int {
+	d := 0
+	for _, r := range g.knownCrash[m][i] {
+		if r != NoKnownCrash {
+			d++
+		}
+	}
+	return d
+}
+
+func (g *referenceGraph) vals(i model.Proc, m int) *bitset.Set {
+	out := &bitset.Set{}
+	g.views[m][i].Layers[0].ForEach(func(j int) bool {
+		out.Add(g.adv.Inputs[j])
+		return true
+	})
+	return out
+}
+
+func (g *referenceGraph) min(i model.Proc, m int) model.Value {
+	v, _ := g.vals(i, m).Min()
+	return v
+}
+
+func (g *referenceGraph) lastSeen(i model.Proc, m int, j model.Proc) int {
+	v := g.views[m][i]
+	for l := len(v.Layers) - 1; l >= 0; l-- {
+		if v.Layers[l].Contains(j) {
+			return l
+		}
+	}
+	return -1
+}
+
+// persists is Definition 3 exactly as the pre-arena Persists computed it,
+// including the defensive SeenSet clone it paid per call.
+func (g *referenceGraph) persists(i model.Proc, m int, v model.Value, t int) bool {
+	if m > 0 && g.adv.Pattern.Active(i, m) && g.vals(i, m-1).Contains(v) {
+		return true
+	}
+	d := g.failuresKnown(i, m)
+	need := t - d
+	if need <= 0 {
+		return true
+	}
+	if m == 0 {
+		return false
+	}
+	count := 0
+	seen := &bitset.Set{}
+	if view := g.views[m][i]; m-1 < len(view.Layers) {
+		seen = view.Layers[m-1].Clone()
+	}
+	seen.ForEach(func(j int) bool {
+		if g.vals(j, m-1).Contains(v) {
+			count++
+		}
+		return count < need
+	})
+	return count >= need
+}
+
+// fingerprint is the old fmt-built canonical string encoding. The arena
+// Graph's binary Fingerprint must induce exactly the same equivalence
+// classes over nodes; the encodings themselves differ.
+func (g *referenceGraph) fingerprint(i model.Proc, m int) string {
+	v := g.views[m][i]
+	var b strings.Builder
+	fmt.Fprintf(&b, "⟨%d,%d⟩|", i, m)
+	v.Layers[0].ForEach(func(j int) bool {
+		fmt.Fprintf(&b, "0:%d=%d;", j, g.adv.Inputs[j])
+		return true
+	})
+	for l := 1; l < len(v.Layers); l++ {
+		v.Layers[l].ForEach(func(h int) bool {
+			fmt.Fprintf(&b, "%d:%d<", l, h)
+			for j := 0; j < g.adv.N(); j++ {
+				if g.adv.Pattern.Delivered(j, h, l) {
+					fmt.Fprintf(&b, "%d,", j)
+				}
+			}
+			b.WriteByte(';')
+			return true
+		})
+	}
+	return b.String()
+}

@@ -9,8 +9,10 @@
 package model
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"setconsensus/internal/bitset"
 )
@@ -163,24 +165,39 @@ func (f *FailurePattern) Validate(t int) error {
 }
 
 // String renders the pattern compactly, e.g. "crash(1@r1→{2}, 3@r2→{})".
+// It is rendered by hand (strconv, not fmt): the string is built once per
+// Result and once per enumerated pattern, which made reflection-driven
+// formatting a measurable slice of sweep throughput.
 func (f *FailurePattern) String() string {
 	if len(f.Crashes) == 0 {
 		return "crash()"
 	}
+	procs := f.sortedFaulty()
+	b := make([]byte, 0, 16+24*len(procs))
+	b = append(b, "crash("...)
+	for i, p := range procs {
+		if i > 0 {
+			b = append(b, ", "...)
+		}
+		c := f.Crashes[p]
+		b = strconv.AppendInt(b, int64(p), 10)
+		b = append(b, "@r"...)
+		b = strconv.AppendInt(b, int64(c.Round), 10)
+		b = append(b, "→"...)
+		b = append(b, c.Delivered.String()...)
+	}
+	b = append(b, ')')
+	return string(b)
+}
+
+// sortedFaulty returns the faulty processes in increasing order.
+func (f *FailurePattern) sortedFaulty() []int {
 	procs := make([]int, 0, len(f.Crashes))
 	for p := range f.Crashes {
 		procs = append(procs, p)
 	}
 	sort.Ints(procs)
-	s := "crash("
-	for i, p := range procs {
-		if i > 0 {
-			s += ", "
-		}
-		c := f.Crashes[p]
-		s += fmt.Sprintf("%d@r%d→%s", p, c.Round, c.Delivered.String())
-	}
-	return s + ")"
+	return procs
 }
 
 // Canonical returns a copy of the pattern with unobservable deliveries
@@ -249,15 +266,63 @@ func (a *Adversary) Validate(t, maxValue int) error {
 	return nil
 }
 
-// String renders the adversary.
+// String renders the adversary, e.g. "adv(inputs=[0 1 2], crash())".
+// Hand-rendered like FailurePattern.String: every Result carries this
+// string, so it is on the sweep hot path.
 func (a *Adversary) String() string {
-	return fmt.Sprintf("adv(inputs=%v, %s)", a.Inputs, a.Pattern)
+	b := make([]byte, 0, 32+4*len(a.Inputs))
+	b = append(b, "adv(inputs=["...)
+	for i, v := range a.Inputs {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	b = append(b, "], "...)
+	b = append(b, a.Pattern.String()...)
+	b = append(b, ')')
+	return string(b)
 }
 
-// Fingerprint returns a canonical identity string for the adversary:
+// Fingerprint returns a canonical identity key for the adversary:
 // structurally equal adversaries — equal inputs and observably equal
 // failure patterns, however they were built — share a fingerprint.
 // Caches keyed by adversary should use it instead of pointer identity.
+//
+// The key is a compact binary encoding (varints plus raw delivery-mask
+// words), not a rendered string: it is hashed by the map that holds it
+// and compared byte-wise, never parsed or displayed. Unobservable
+// deliveries — to the crasher itself, or to receivers already dead at
+// receipt time — are stripped during encoding, exactly the Canonical
+// equivalence, without materializing the canonical pattern.
 func (a *Adversary) Fingerprint() string {
-	return fmt.Sprintf("%v|%s", a.Inputs, a.Pattern.Canonical())
+	f := a.Pattern
+	w := (f.N + 63) >> 6
+	procs := f.sortedFaulty()
+	b := make([]byte, 0, 2*binary.MaxVarintLen64*(len(a.Inputs)+1)+len(procs)*(2*binary.MaxVarintLen64+8*w))
+	var tmp [binary.MaxVarintLen64]byte
+	b = append(b, tmp[:binary.PutUvarint(tmp[:], uint64(len(a.Inputs)))]...)
+	for _, v := range a.Inputs {
+		b = append(b, tmp[:binary.PutVarint(tmp[:], int64(v))]...)
+	}
+	mask := make([]uint64, w) // one buffer for every crasher, zeroed between
+	for _, p := range procs {
+		c := f.Crashes[p]
+		b = append(b, tmp[:binary.PutUvarint(tmp[:], uint64(p))]...)
+		b = append(b, tmp[:binary.PutUvarint(tmp[:], uint64(c.Round))]...)
+		for i := range mask {
+			mask[i] = 0
+		}
+		c.Delivered.ForEach(func(q int) bool {
+			if q != p && q < f.N && f.Active(q, c.Round) {
+				mask[q>>6] |= 1 << uint(q&63)
+			}
+			return true
+		})
+		for _, word := range mask {
+			binary.LittleEndian.PutUint64(tmp[:8], word)
+			b = append(b, tmp[:8]...)
+		}
+	}
+	return string(b)
 }

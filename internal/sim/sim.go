@@ -70,13 +70,17 @@ func RunWithGraph(p Protocol, g *knowledge.Graph) *Result {
 	adv := g.Adv
 	horizon := g.Horizon
 	res := &Result{ProtocolName: p.Name(), Adv: adv, Graph: g, Decisions: make([]*Decision, adv.N())}
+	// One slab for all decisions: at most n are made, and the capacity is
+	// never exceeded, so the interior pointers stay valid.
+	slab := make([]Decision, 0, adv.N())
 	for m := 0; m <= horizon; m++ {
 		for i := 0; i < adv.N(); i++ {
 			if res.Decisions[i] != nil || !adv.Pattern.Active(i, m) {
 				continue
 			}
 			if v, ok := p.Decide(g, i, m); ok {
-				res.Decisions[i] = &Decision{Value: v, Time: m}
+				slab = append(slab, Decision{Value: v, Time: m})
+				res.Decisions[i] = &slab[len(slab)-1]
 			}
 		}
 	}

@@ -65,8 +65,14 @@ func Search(base sim.Protocol, p SearchParams) (*SearchReport, error) {
 	var runs []*searchRun
 
 	horizon := p.T/p.K + 1
+	// One builder for the whole enumeration: each adversary's graph is
+	// interned into ids/viewVals (copies) within its iteration and then
+	// released, so the enumeration reuses a single arena instead of
+	// allocating a forest per adversary.
+	builder := knowledge.NewBuilder()
 	err := p.Space.ForEach(func(adv *model.Adversary) bool {
-		g := knowledge.New(adv, horizon)
+		g := builder.Build(adv, horizon)
+		defer g.Release()
 		res := sim.RunWithGraph(base, g)
 		sr := &searchRun{
 			adv:      adv,

@@ -109,31 +109,22 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 	return json.Marshal((*plain)(r))
 }
 
-// newResult assembles the backend-independent part of a Result. name is
-// the runtime display name ("Optmin[2]"); backends that already built
-// the protocol pass proto.Name(), the compact backends resolve it via
-// protocolRuntimeName.
-func newResult(ref, name string, backend BackendKind, p Params, adv *model.Adversary, decisions []*Decision) *Result {
+// newResult assembles the backend-independent part of a Result from the
+// prepared request: the runtime name, the protocol instance, and the
+// rendered adversary string were all derived (and cached) by the Engine,
+// not re-derived per run.
+func newResult(req *RunRequest, backend BackendKind, decisions []*Decision) *Result {
 	r := &Result{
-		Protocol:  name,
-		Ref:       ref,
+		Protocol:  req.Name,
+		Ref:       req.Ref,
 		Backend:   backend.String(),
-		Params:    p,
-		Adversary: adv.String(),
+		Params:    req.Params,
+		Adversary: req.AdvStr,
 		Decisions: decisions,
-		adv:       adv,
+		adv:       req.Adv,
 	}
 	r.MaxCorrectTime = r.simResult().MaxCorrectDecisionTime()
 	return r
-}
-
-// protocolRuntimeName resolves the runtime display name ("Optmin[2]")
-// for backends that never construct the full-information protocol.
-func protocolRuntimeName(spec *ProtocolSpec, p Params) string {
-	if proto, err := spec.New(p); err == nil {
-		return proto.Name()
-	}
-	return spec.Name
 }
 
 // graphStats derives the oracle extras from a knowledge graph.

@@ -220,3 +220,44 @@ func TestAggregatorTracksWireBits(t *testing.T) {
 		t.Errorf("summary table missing bit columns:\n%s", rendered)
 	}
 }
+
+// TestSweepSourceRecycledGraphsGolden pins the graph-recycling worker
+// path: SweepSource with the graph cache disabled rebuilds each shard's
+// knowledge graphs in a per-worker reused arena and releases them as
+// soon as their results are aggregated. The summary must be identical
+// to the cached engine's, which never recycles — a stale-arena bug or a
+// Result that outlives its Release would diverge here.
+func TestSweepSourceRecycledGraphsGolden(t *testing.T) {
+	space := setconsensus.Space{N: 3, T: 2, MaxRound: 2, Values: []int{0, 1}}
+	refs := []string{"optmin", "upmin", "floodmin"}
+	cached := setconsensus.New(setconsensus.WithCrashBound(2))
+	recycled := setconsensus.New(setconsensus.WithCrashBound(2), setconsensus.WithGraphCache(0))
+
+	summaries := make([]*setconsensus.Summary, 2)
+	for i, eng := range []*setconsensus.Engine{cached, recycled} {
+		src, err := setconsensus.SpaceSource(space)
+		if err != nil {
+			t.Fatal(err)
+		}
+		summaries[i], err = eng.SweepSource(context.Background(), refs, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, got := summaries[0], summaries[1]
+	if got.Runs() != want.Runs() {
+		t.Fatalf("recycled path ran %d, cached %d", got.Runs(), want.Runs())
+	}
+	for i, p := range got.Protocols {
+		w := want.Protocols[i]
+		if p.Ref != w.Ref || p.Runs != w.Runs || p.Undecided != w.Undecided ||
+			p.Violations != w.Violations || p.MaxTime != w.MaxTime || p.SumTime != w.SumTime {
+			t.Errorf("protocol %s: recycled %+v, cached %+v", p.Ref, p, w)
+		}
+		for tm, n := range w.TimeHist {
+			if p.TimeHist[tm] != n {
+				t.Errorf("protocol %s: hist[%d] = %d, want %d", p.Ref, tm, p.TimeHist[tm], n)
+			}
+		}
+	}
+}
