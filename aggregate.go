@@ -17,6 +17,9 @@ type Aggregator struct {
 	mu    sync.Mutex
 	sum   *agg.Summary
 	tasks map[string]Task
+	// tasksByIdx mirrors tasks in sweep ref order for the sharded fold
+	// path, which addresses protocols by index instead of map lookup.
+	tasksByIdx []Task
 }
 
 // NewAggregator builds an aggregator for the named protocols, verifying
@@ -29,6 +32,7 @@ func (e *Engine) NewAggregator(workload string, refs []string) (*Aggregator, err
 		return nil, e.err
 	}
 	tasks := make(map[string]Task, len(refs))
+	tasksByIdx := make([]Task, 0, len(refs))
 	for _, ref := range refs {
 		if _, dup := tasks[ref]; dup {
 			return nil, fmt.Errorf("engine: duplicate protocol %q in aggregated sweep", ref)
@@ -38,8 +42,36 @@ func (e *Engine) NewAggregator(workload string, refs []string) (*Aggregator, err
 			return nil, err
 		}
 		tasks[ref] = spec.Task(e.params.K)
+		tasksByIdx = append(tasksByIdx, tasks[ref])
 	}
-	return &Aggregator{sum: agg.New(workload, refs), tasks: tasks}, nil
+	return &Aggregator{sum: agg.New(workload, refs), tasks: tasks, tasksByIdx: tasksByIdx}, nil
+}
+
+// fold computes one pooled run's observation and bumps the worker's
+// shard accumulator — the lock-free per-run half of the sharded
+// aggregation contract (mergeShard is the once-per-worker other half).
+// The Result is the RunBuffer's pooled result; nothing here retains it.
+func (a *Aggregator) fold(acc *agg.Acc, refIdx int, r *Result, buf *RunBuffer) {
+	o := agg.Obs{Time: r.MaxCorrectTime}
+	if r.MaxCorrectTime >= 0 {
+		o.Violation = buf.verifyResult(r, a.tasksByIdx[refIdx]) != nil
+	}
+	if r.Bits != nil {
+		o.Bits = int64(r.Bits.Total)
+		o.MaxPairBits = r.Bits.MaxPair
+	}
+	acc.Observe(o)
+}
+
+// mergeShard folds a worker's accumulators (indexed like the sweep's
+// refs) into the summary under the aggregator lock — the only
+// synchronization point of a sharded sweep — and resets them.
+func (a *Aggregator) mergeShard(shard []agg.Acc) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range shard {
+		shard[i].FlushTo(a.sum.Protocols[i])
+	}
 }
 
 // Add folds one run into the summary. Results whose Ref the aggregator

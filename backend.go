@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"setconsensus/internal/check"
 	"setconsensus/internal/knowledge"
 	"setconsensus/internal/model"
 	"setconsensus/internal/runtime"
@@ -14,7 +15,7 @@ import (
 // RunRequest carries everything one protocol run needs. The Engine
 // assembles it once per (protocol, adversary) pair and shares the
 // expensive parts across the runs of a sweep: the knowledge graph and
-// the rendered adversary string are per-adversary, the constructed
+// the adversary-string renderer are per-adversary, the constructed
 // protocol instance and its runtime name are cached per (ref, params).
 type RunRequest struct {
 	// Ref is the registry name the protocol was resolved from.
@@ -32,12 +33,42 @@ type RunRequest struct {
 	Name   string
 	Params Params
 	Adv    *model.Adversary
-	// AdvStr is Adv.String(), rendered once per adversary rather than
-	// once per run.
-	AdvStr string
+	// AdvStr lazily renders the adversary's display string. The Engine
+	// passes one memoized closure per adversary, so the string is built
+	// at most once per adversary — and only when a Result that carries
+	// it is actually materialized. It is nil on the aggregating fold
+	// path (RunInto), whose pooled Results never render it.
+	AdvStr func() string
 	// Graph is non-nil exactly when the backend's NeedsGraph reports
 	// true.
 	Graph *knowledge.Graph
+}
+
+// RunBuffer is the per-worker scratch behind Backend.RunInto: one
+// reusable Result, pooled decision storage, reusable verification sets,
+// and the backend-extra structs. A RunBuffer serves one goroutine; the
+// Result a RunInto call returns aliases the buffer and is valid only
+// until the next RunInto with the same buffer. See the recycle contract
+// in engine.go for who may retain what.
+type RunBuffer struct {
+	req    RunRequest
+	res    Result
+	sim    sim.Scratch
+	simres sim.Result
+	verify check.Scratch
+	bits   BitStats
+}
+
+// NewRunBuffer returns an empty buffer ready for RunInto.
+func NewRunBuffer() *RunBuffer { return &RunBuffer{} }
+
+// verifyResult checks a pooled result against task using only the
+// buffer's reusable storage; nothing allocates unless a violation
+// renders its diagnostic.
+func (b *RunBuffer) verifyResult(r *Result, task Task) error {
+	b.simres.ProtocolName, b.simres.Adv, b.simres.Graph, b.simres.Decisions =
+		r.Protocol, r.adv, r.graph, r.Decisions
+	return b.verify.VerifyRun(&b.simres, task)
 }
 
 // Backend executes one protocol run. The three implementations adapt the
@@ -51,8 +82,17 @@ type Backend interface {
 	// NeedsGraph reports whether Run requires a precomputed knowledge
 	// graph; the Engine supplies (and shares) one when it does.
 	NeedsGraph() bool
-	// Run executes the request.
+	// Run executes the request into a fresh Result the caller may retain.
 	Run(ctx context.Context, req *RunRequest) (*Result, error)
+	// RunInto executes the request into buf's pooled storage and returns
+	// buf's Result, valid only until the next RunInto on the same
+	// buffer. It is the fold-oriented entry point of aggregating sweeps:
+	// no per-run heap objects, and no display extras — the Result's
+	// Adversary string and GraphStats are omitted (fold consumers read
+	// Result.Adv() when they need identity). RunInto does not poll the
+	// context either; the aggregating engine checks it once per
+	// adversary rather than once per run.
+	RunInto(ctx context.Context, req *RunRequest, buf *RunBuffer) (*Result, error)
 }
 
 // backendFor maps a kind to its implementation.
@@ -99,6 +139,16 @@ func (oracleBackend) Run(ctx context.Context, req *RunRequest) (*Result, error) 
 	return res, nil
 }
 
+func (oracleBackend) RunInto(_ context.Context, req *RunRequest, buf *RunBuffer) (*Result, error) {
+	if req.Proto == nil {
+		return nil, req.ProtoErr
+	}
+	sim.RunWithGraphInto(req.Proto, req.Graph, &buf.sim, &buf.simres)
+	res := newResultInto(buf, req, Oracle, buf.simres.Decisions)
+	res.graph = req.Graph
+	return res, nil
+}
+
 // goroutineBackend runs the concurrent message-passing engine.
 type goroutineBackend struct{}
 
@@ -123,6 +173,23 @@ func (goroutineBackend) Run(ctx context.Context, req *RunRequest) (*Result, erro
 		}
 	}
 	return newResult(req, Goroutines, decisions), nil
+}
+
+func (goroutineBackend) RunInto(_ context.Context, req *RunRequest, buf *RunBuffer) (*Result, error) {
+	if err := requireWireCapable(req.Spec, Goroutines); err != nil {
+		return nil, err
+	}
+	rtRes, err := runtime.Run(req.Spec.WireRule, req.Params, req.Adv)
+	if err != nil {
+		return nil, err
+	}
+	decs := buf.sim.Reset(len(rtRes.Decisions))
+	for i, d := range rtRes.Decisions {
+		if d != nil {
+			buf.sim.Put(i, Decision{Value: d.Value, Time: d.Time})
+		}
+	}
+	return newResultInto(buf, req, Goroutines, decs), nil
 }
 
 // wireBackend runs the deterministic compact-protocol runner with bit
@@ -150,6 +217,28 @@ func (wireBackend) Run(ctx context.Context, req *RunRequest) (*Result, error) {
 		}
 	}
 	res := newResult(req, Wire, decisions)
-	res.Bits = bitStats(wRes)
+	bs := &BitStats{}
+	bitStatsInto(bs, wRes)
+	res.Bits = bs
+	return res, nil
+}
+
+func (wireBackend) RunInto(_ context.Context, req *RunRequest, buf *RunBuffer) (*Result, error) {
+	if err := requireWireCapable(req.Spec, Wire); err != nil {
+		return nil, err
+	}
+	wRes, err := wire.Run(req.Spec.WireRule, req.Params, req.Adv)
+	if err != nil {
+		return nil, err
+	}
+	decs := buf.sim.Reset(len(wRes.Decisions))
+	for i, d := range wRes.Decisions {
+		if d != nil {
+			buf.sim.Put(i, Decision{Value: d.Value, Time: d.Time})
+		}
+	}
+	res := newResultInto(buf, req, Wire, decs)
+	bitStatsInto(&buf.bits, wRes)
+	res.Bits = &buf.bits
 	return res, nil
 }

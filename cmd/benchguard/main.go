@@ -1,0 +1,219 @@
+// Command benchguard compares `go test -bench` output against a labeled
+// entry of BENCH_baseline.json and fails on ns/op regressions beyond a
+// tolerance. It is the CI regression gate behind the committed benchmark
+// trajectory: benchstat renders the human-readable comparison (feed it
+// the synthetic old-style file from -emit-old), benchguard enforces the
+// threshold.
+//
+//	benchguard -baseline BENCH_baseline.json -label pr4_post \
+//	    -input bench.txt -tolerance 0.20 \
+//	    -require BenchmarkSweepSource,BenchmarkGraphBuilderReuse
+//
+// The comparison is deliberately soft: benchmarks present in the input
+// but absent from the baseline entry (or vice versa) are reported and
+// skipped, allocation counts are informational, and only a ns/op
+// regression beyond the tolerance fails the run. Across-machine noise is
+// why the default tolerance is generous; -require guards against the
+// silent failure mode of a bench regex matching nothing.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors the committed BENCH_baseline.json shape.
+type baselineFile struct {
+	History []struct {
+		Label      string               `json:"label"`
+		Benchmarks map[string]baseEntry `json:"benchmarks"`
+	} `json:"history"`
+}
+
+type baseEntry struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// sample is one parsed benchmark line.
+type sample struct {
+	nsOp     float64
+	allocsOp float64
+	hasAlloc bool
+}
+
+var benchSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads `go test -bench` output and returns, per benchmark
+// name (GOMAXPROCS suffix stripped), the minimum ns/op over its samples
+// — the steadiest statistic for a regression gate — and the matching
+// allocs/op.
+func parseBench(r io.Reader) (map[string]sample, error) {
+	best := make(map[string]sample)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := benchSuffix.ReplaceAllString(f[0], "")
+		s := sample{nsOp: -1}
+		for i := 2; i < len(f); i++ {
+			switch f[i] {
+			case "ns/op":
+				v, err := strconv.ParseFloat(f[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchguard: bad ns/op in %q", sc.Text())
+				}
+				s.nsOp = v
+			case "allocs/op":
+				v, err := strconv.ParseFloat(f[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchguard: bad allocs/op in %q", sc.Text())
+				}
+				s.allocsOp, s.hasAlloc = v, true
+			}
+		}
+		if s.nsOp < 0 {
+			continue
+		}
+		if prev, ok := best[name]; !ok || s.nsOp < prev.nsOp {
+			best[name] = s
+		}
+	}
+	return best, sc.Err()
+}
+
+// loadBaseline returns the benchmarks of the labeled history entry.
+func loadBaseline(path, label string) (map[string]baseEntry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return nil, fmt.Errorf("benchguard: %s: %w", path, err)
+	}
+	for _, h := range bf.History {
+		if h.Label == label {
+			return h.Benchmarks, nil
+		}
+	}
+	return nil, fmt.Errorf("benchguard: no history entry labeled %q in %s", label, path)
+}
+
+// emitOld writes the baseline entry as synthetic `go test -bench` output
+// so benchstat can diff it against a fresh run.
+func emitOld(w io.Writer, base map[string]baseEntry) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		// Package-qualified names ("internal/knowledge.BenchmarkX") are
+		// trajectory bookkeeping, not comparable lines.
+		if strings.Contains(name, ".") {
+			continue
+		}
+		fmt.Fprintf(w, "%s 1 %g ns/op %g B/op %g allocs/op\n", name, b.NsOp, b.BOp, b.AllocsOp)
+	}
+}
+
+// guard compares and reports; it returns the names that regressed beyond
+// the tolerance.
+func guard(w io.Writer, base map[string]baseEntry, got map[string]sample, tolerance float64) []string {
+	names := make([]string, 0, len(got))
+	for name := range got {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressed []string
+	for _, name := range names {
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s %12.0f ns/op  (not in baseline, skipped)\n", name, got[name].nsOp)
+			continue
+		}
+		s := got[name]
+		ratio := s.nsOp / b.NsOp
+		verdict := "ok"
+		if ratio > 1+tolerance {
+			verdict = "REGRESSION"
+			regressed = append(regressed, name)
+		}
+		fmt.Fprintf(w, "%-40s %12.0f ns/op  vs baseline %12.0f  (%+.1f%%)  %s\n",
+			name, s.nsOp, b.NsOp, (ratio-1)*100, verdict)
+		if s.hasAlloc && b.AllocsOp > 0 && s.allocsOp > b.AllocsOp {
+			fmt.Fprintf(w, "%-40s %12.0f allocs/op vs baseline %.0f (informational)\n", "", s.allocsOp, b.AllocsOp)
+		}
+	}
+	return regressed
+}
+
+func run() error {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "path to the committed baseline trajectory")
+	label := flag.String("label", "", "history entry to compare against")
+	input := flag.String("input", "", "go test -bench output to check (omit with -emit-old)")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression")
+	require := flag.String("require", "", "comma-separated benchmarks that must appear in the input")
+	emitOldPath := flag.String("emit-old", "", "write the baseline entry as synthetic bench output for benchstat, then exit")
+	flag.Parse()
+
+	if *label == "" {
+		return fmt.Errorf("benchguard: -label is required")
+	}
+	base, err := loadBaseline(*baselinePath, *label)
+	if err != nil {
+		return err
+	}
+	if *emitOldPath != "" {
+		f, err := os.Create(*emitOldPath)
+		if err != nil {
+			return err
+		}
+		emitOld(f, base)
+		return f.Close()
+	}
+	if *input == "" {
+		return fmt.Errorf("benchguard: -input is required (or use -emit-old)")
+	}
+	f, err := os.Open(*input)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	got, err := parseBench(f)
+	if err != nil {
+		return err
+	}
+	if *require != "" {
+		for _, name := range strings.Split(*require, ",") {
+			if _, ok := got[strings.TrimSpace(name)]; !ok {
+				return fmt.Errorf("benchguard: required benchmark %q missing from %s (bench regex matched nothing?)", name, *input)
+			}
+		}
+	}
+	if regressed := guard(os.Stdout, base, got, *tolerance); len(regressed) > 0 {
+		return fmt.Errorf("benchguard: ns/op regression beyond %.0f%% in: %s",
+			*tolerance*100, strings.Join(regressed, ", "))
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

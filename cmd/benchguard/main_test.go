@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: setconsensus
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSweepSource-8   	    2420	    991168 ns/op	  142354 B/op	    1636 allocs/op
+BenchmarkSweepSource-8   	    2400	    995001 ns/op	  142354 B/op	    1636 allocs/op
+BenchmarkGraphBuilderReuse 	  448645	      5620 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseBenchTakesMinAndStripsSuffix(t *testing.T) {
+	got, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := got["BenchmarkSweepSource"]
+	if !ok {
+		t.Fatalf("suffix not stripped: %v", got)
+	}
+	if s.nsOp != 991168 {
+		t.Fatalf("min ns/op = %v, want 991168", s.nsOp)
+	}
+	if !s.hasAlloc || s.allocsOp != 1636 {
+		t.Fatalf("allocs/op = %v", s.allocsOp)
+	}
+	if g := got["BenchmarkGraphBuilderReuse"]; g.nsOp != 5620 {
+		t.Fatalf("unsuffixed benchmark ns/op = %v", g.nsOp)
+	}
+}
+
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	const body = `{
+	  "history": [
+	    {"label": "old", "benchmarks": {"BenchmarkSweepSource": {"ns_op": 3434075, "b_op": 1583885, "allocs_op": 29308}}},
+	    {"label": "new", "benchmarks": {
+	      "BenchmarkSweepSource": {"ns_op": 1000000, "b_op": 142354, "allocs_op": 1636},
+	      "BenchmarkGraphBuilderReuse": {"ns_op": 5600, "b_op": 0, "allocs_op": 0},
+	      "internal/knowledge.BenchmarkBuildArena": {"ns_op": 20000, "b_op": 1, "allocs_op": 1}
+	    }}
+	  ]
+	}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadBaselineByLabel(t *testing.T) {
+	path := writeBaseline(t)
+	base, err := loadBaseline(path, "new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base["BenchmarkSweepSource"].NsOp != 1000000 {
+		t.Fatalf("wrong entry loaded: %+v", base)
+	}
+	if _, err := loadBaseline(path, "missing"); err == nil {
+		t.Fatal("unknown label must error")
+	}
+}
+
+func TestGuardToleranceBoundary(t *testing.T) {
+	path := writeBaseline(t)
+	base, err := loadBaseline(path, "new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := map[string]sample{
+		"BenchmarkSweepSource":       {nsOp: 1_150_000}, // +15% < 20%: fine
+		"BenchmarkGraphBuilderReuse": {nsOp: 5000},
+		"BenchmarkUnknown":           {nsOp: 1}, // not in baseline: skipped
+	}
+	if regressed := guard(os.Stderr, base, within, 0.20); len(regressed) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", regressed)
+	}
+	over := map[string]sample{
+		"BenchmarkSweepSource": {nsOp: 1_250_000}, // +25% > 20%
+	}
+	regressed := guard(os.Stderr, base, over, 0.20)
+	if len(regressed) != 1 || regressed[0] != "BenchmarkSweepSource" {
+		t.Fatalf("regression not flagged: %v", regressed)
+	}
+}
+
+func TestEmitOldSkipsQualifiedNames(t *testing.T) {
+	path := writeBaseline(t)
+	base, err := loadBaseline(path, "new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	emitOld(&sb, base)
+	out := sb.String()
+	if !strings.Contains(out, "BenchmarkSweepSource 1 1e+06 ns/op") {
+		t.Fatalf("missing synthetic line:\n%s", out)
+	}
+	if strings.Contains(out, "internal/knowledge") {
+		t.Fatalf("package-qualified bookkeeping leaked into benchstat input:\n%s", out)
+	}
+	// Round-trip: benchstat-style files are also parseable by our own
+	// reader, so the gate and the report read the same numbers.
+	parsed, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed["BenchmarkSweepSource"].nsOp != 1000000 {
+		t.Fatalf("round-trip lost ns/op: %+v", parsed)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"setconsensus/internal/agg"
 	"setconsensus/internal/knowledge"
 	"setconsensus/internal/model"
 )
@@ -21,11 +22,36 @@ import (
 // Workloads too large to materialize stream through Engine.SweepSource,
 // which shards a Source across the same worker pool and folds results
 // into a constant-memory Summary.
+//
+// # Recycle contract
+//
+// The aggregating path (SweepSource) is allocation-free per run, which
+// rests on three reuse rules:
+//
+//   - RunBuffer: the Result a Backend.RunInto call returns aliases the
+//     buffer — the engine folds it into the per-worker accumulators and
+//     never lets it escape. Anything that retains Results (Run, Sweep,
+//     the stream variants) goes through Backend.Run instead.
+//   - Knowledge graphs: with the graph cache disabled, each aggregating
+//     worker rebuilds graphs in one reused Builder arena and releases
+//     them as soon as the adversary's runs are folded; consecutive
+//     adversaries sharing a failure pattern revive the previous arena
+//     and recompute only the value layer. Cached graphs are shared and
+//     retained, so recycling never applies to them.
+//   - Summary shards: each worker folds into private agg.Acc
+//     accumulators and merges them into the Aggregator exactly once,
+//     when its shard is drained (Summary.Merge is the public form of
+//     the same contract). Nothing a worker retains outlives the merge.
 type Engine struct {
 	params  EngineParams
 	reg     *Registry
 	backend Backend
 	err     error // construction error, surfaced by every call
+
+	// kits recycles the per-worker aggregation state (RunBuffer,
+	// knowledge Builder) across SweepSource calls, so repeated sweeps on
+	// one engine pay no per-sweep warm-up allocations.
+	kits sync.Pool
 
 	mu         sync.Mutex
 	graphs     map[graphKey]*knowledge.Graph
@@ -61,7 +87,11 @@ const protoCacheBound = 512
 // entries until the bound holds. It is the single home of the eviction
 // invariant for all three engine caches (graphs, fingerprints,
 // protocols): bound ≤ 0 disables insertion outright rather than evicting
-// forever, and an existing key is left in place. Callers hold e.mu.
+// forever, and an existing key is left in place. Eviction copies the
+// order slice down and zeroes the vacated tail slot — re-slicing the
+// front off (order = order[1:]) would keep every evicted key reachable
+// through the backing array, pinning adversaries and graph keys for the
+// life of the engine. Callers hold e.mu.
 func insertBounded[K comparable, V any](m map[K]V, order *[]K, key K, val V, bound int) {
 	if bound <= 0 {
 		return
@@ -71,7 +101,10 @@ func insertBounded[K comparable, V any](m map[K]V, order *[]K, key K, val V, bou
 	}
 	for len(*order) >= bound {
 		delete(m, (*order)[0])
-		*order = (*order)[1:]
+		n := copy(*order, (*order)[1:])
+		var zero K
+		(*order)[n] = zero
+		*order = (*order)[:n]
 	}
 	m[key] = val
 	*order = append(*order, key)
@@ -153,6 +186,20 @@ func (e *Engine) horizonFor(specs []*ProtocolSpec, p Params) int {
 		}
 	}
 	return h
+}
+
+// advString returns a lazily-memoized renderer of adv.String, shared by
+// every run of one adversary in a sweep: the string is built at most
+// once per adversary, and only when a Result that carries it is
+// actually materialized.
+func advString(adv *Adversary) func() string {
+	var s string
+	return func() string {
+		if s == "" {
+			s = adv.String()
+		}
+		return s
+	}
 }
 
 // fingerprintFor memoizes Adversary.Fingerprint by pointer identity:
@@ -260,12 +307,12 @@ func (e *Engine) Run(ctx context.Context, ref string, adv *Adversary) (*Result, 
 		g = e.graphFor(adv, e.horizonFor([]*ProtocolSpec{spec}, p))
 	}
 	ent := e.protoFor(ref, spec, p)
-	return e.backend.Run(ctx, newRunRequest(ref, spec, ent, p, adv, adv.String(), g))
+	return e.backend.Run(ctx, newRunRequest(ref, spec, ent, p, adv, advString(adv), g))
 }
 
 // newRunRequest is the single place a protoEntry is wired into a
 // RunRequest, shared by the single-run and sweep paths.
-func newRunRequest(ref string, spec *ProtocolSpec, ent protoEntry, p Params, adv *Adversary, advStr string, g *knowledge.Graph) *RunRequest {
+func newRunRequest(ref string, spec *ProtocolSpec, ent protoEntry, p Params, adv *Adversary, advStr func() string, g *knowledge.Graph) *RunRequest {
 	return &RunRequest{
 		Ref: ref, Spec: spec,
 		Proto: ent.proto, ProtoErr: ent.err, Name: ent.name,
@@ -288,7 +335,7 @@ func (e *Engine) Sweep(ctx context.Context, refs []string, advs []*Adversary) ([
 	results := make([]*Result, len(refs)*len(advs))
 	err := e.sweep(ctx, refs, SliceSource(advs...), func(advIdx, refIdx int, r *Result) {
 		results[advIdx*len(refs)+refIdx] = r
-	}, false)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -310,6 +357,12 @@ func (e *Engine) SweepStream(ctx context.Context, refs []string, advs []*Adversa
 // keeps its canonical-pattern dedup set) — never by the number of
 // results. Per adversary, all protocols share one knowledge graph, as
 // in Sweep.
+//
+// This is the allocation-free sweep variant: every run goes through the
+// pooled Backend.RunInto path, each worker folds its shard into private
+// accumulators, and the shards merge into the Summary once per worker —
+// there is no per-run aggregator lock, so throughput scales with
+// Parallelism.
 func (e *Engine) SweepSource(ctx context.Context, refs []string, src Source) (*Summary, error) {
 	if e.err != nil {
 		return nil, e.err
@@ -317,23 +370,21 @@ func (e *Engine) SweepSource(ctx context.Context, refs []string, src Source) (*S
 	if src == nil {
 		return nil, fmt.Errorf("engine: nil source")
 	}
-	agg, err := e.NewAggregator(src.Label(), refs)
+	a, err := e.NewAggregator(src.Label(), refs)
 	if err != nil {
 		return nil, err
 	}
-	// This is the one sweep variant whose results provably do not escape:
-	// every Result is folded into the aggregator inside the deliver call
-	// and dropped. That makes graph recycling safe, so each worker reuses
-	// one arena across its whole shard when the cache is off.
-	if err := e.sweep(ctx, refs, src, func(_, _ int, r *Result) { agg.Add(r) }, true); err != nil {
+	if err := e.sweepAggregate(ctx, refs, src, a); err != nil {
 		return nil, err
 	}
-	return agg.Summary(), nil
+	return a.Summary(), nil
 }
 
 // SweepSourceStream is SweepSource with per-result delivery instead of
 // aggregation: emit is called once per finished run, in completion
-// order, from a single goroutine at a time.
+// order, from a single goroutine at a time. Emitted Results are fresh
+// (emit may retain them), so this path pays the per-run allocations the
+// aggregating SweepSource avoids.
 func (e *Engine) SweepSourceStream(ctx context.Context, refs []string, src Source, emit func(*Result)) error {
 	if src == nil {
 		return fmt.Errorf("engine: nil source")
@@ -343,7 +394,7 @@ func (e *Engine) SweepSourceStream(ctx context.Context, refs []string, src Sourc
 		mu.Lock()
 		defer mu.Unlock()
 		emit(r)
-	}, false) // emit may retain results (and their graphs): never recycle
+	})
 }
 
 // sourceChunk bounds how many adversaries a worker claims at once from a
@@ -353,10 +404,16 @@ const sourceChunk = 32
 
 // chunkSizeFor picks the shard size: small known workloads go one
 // adversary at a time (maximum parallelism), large or unknown ones in
-// fixed chunks.
+// fixed chunks. Degenerate counts fall back to the streaming chunk
+// size: a Source whose Count lies (reports known with count ≤ 0 yet
+// yields adversaries) or a clamped-to-zero worker total must degrade to
+// the unknown-count behavior, not divide by zero or starve the pool.
 func chunkSizeFor(count int, known bool, workers int) int {
-	if !known {
+	if !known || count <= 0 {
 		return sourceChunk
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	c := count / (workers * 4)
 	if c < 1 {
@@ -369,23 +426,46 @@ func chunkSizeFor(count int, known bool, workers int) int {
 }
 
 // sweepChunk is one work unit: a run of consecutive adversaries and the
-// global index of the first.
+// global index of the first. Chunks recycle through chunkPool — the
+// feeder takes one, fills it, and hands it to a worker, which releases
+// it after its last adversary is processed — so a streaming sweep
+// allocates a bounded handful of chunk arrays regardless of workload
+// size.
 type sweepChunk struct {
 	base int
 	advs []*Adversary
 }
 
-// sweep is the shared executor behind Sweep, SweepStream, and the source
-// variants: a feeder goroutine cuts the source into deterministic chunks,
-// a worker pool runs sweepOne per adversary, deliver receives every
-// result tagged with its global adversary and protocol indices.
-//
-// recycle declares that deliver drops every Result before returning (the
-// aggregating path). Combined with a disabled graph cache it lets each
-// worker rebuild its knowledge graphs in one reused arena instead of
-// allocating a fresh one per adversary; with caching on, graphs are
-// shared and retained, so recycling never applies.
-func (e *Engine) sweep(ctx context.Context, refs []string, src Source, deliver func(advIdx, refIdx int, r *Result), recycle bool) error {
+var chunkPool = sync.Pool{New: func() any { return new(sweepChunk) }}
+
+// newChunk takes a pooled chunk ready to hold size adversaries starting
+// at global index base.
+func newChunk(base, size int) *sweepChunk {
+	c := chunkPool.Get().(*sweepChunk)
+	c.base = base
+	if cap(c.advs) < size {
+		c.advs = make([]*Adversary, 0, size)
+	} else {
+		c.advs = c.advs[:0]
+	}
+	return c
+}
+
+// releaseChunk clears the adversary pointers — a pooled array must not
+// pin a dropped workload — and returns the chunk to the pool.
+func releaseChunk(c *sweepChunk) {
+	clear(c.advs[:cap(c.advs)])
+	c.advs = c.advs[:0]
+	chunkPool.Put(c)
+}
+
+// sweepExec is the shared executor skeleton behind every sweep variant:
+// it resolves the protocol specs, spins the worker pool and the feeder
+// goroutine that cuts the source into deterministic pooled chunks, and
+// funnels out the first error (or context cancellation). body runs once
+// per worker, owns all worker-local state, and must release every chunk
+// it drains.
+func (e *Engine) sweepExec(ctx context.Context, refs []string, src Source, body func(ctx context.Context, specs []*ProtocolSpec, jobs <-chan *sweepChunk) error) error {
 	if e.err != nil {
 		return e.err
 	}
@@ -401,20 +481,23 @@ func (e *Engine) sweep(ctx context.Context, refs []string, src Source, deliver f
 		specs[i] = spec
 	}
 	count, known := src.Count()
-	if known && count <= 0 {
-		return ctx.Err()
-	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	workers := e.params.Parallelism
-	if known && workers > count {
+	if workers < 1 {
+		workers = 1
+	}
+	// A known count bounds useful parallelism — but only a trustworthy
+	// one: a lying count of zero must not clamp the pool to nothing
+	// while the stream yields adversaries anyway.
+	if known && count > 0 && workers > count {
 		workers = count
 	}
 	chunkSize := chunkSizeFor(count, known, workers)
 
-	jobs := make(chan sweepChunk)
+	jobs := make(chan *sweepChunk)
 	var (
 		wg       sync.WaitGroup
 		errOnce  sync.Once
@@ -428,18 +511,8 @@ func (e *Engine) sweep(ctx context.Context, refs []string, src Source, deliver f
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var builder *knowledge.Builder
-			if recycle && e.params.GraphCache == 0 && e.backend.NeedsGraph() {
-				builder = knowledge.NewBuilder()
-			}
-			var memo protoMemo
-			for chunk := range jobs {
-				for i, adv := range chunk.advs {
-					if err := e.sweepOne(ctx, refs, specs, adv, chunk.base+i, deliver, builder, &memo); err != nil {
-						fail(err)
-						return
-					}
-				}
+			if err := body(ctx, specs, jobs); err != nil {
+				fail(err)
 			}
 		}()
 	}
@@ -450,29 +523,31 @@ func (e *Engine) sweep(ctx context.Context, refs []string, src Source, deliver f
 	go func() {
 		defer close(jobs)
 		next := 0
-		chunk := sweepChunk{base: 0, advs: make([]*Adversary, 0, chunkSize)}
-		flush := func() bool {
-			if len(chunk.advs) == 0 {
-				return true
-			}
+		var chunk *sweepChunk
+		send := func() bool {
 			select {
 			case jobs <- chunk:
-				chunk = sweepChunk{base: next, advs: make([]*Adversary, 0, chunkSize)}
+				chunk = nil
 				return true
 			case <-ctx.Done():
+				releaseChunk(chunk)
+				chunk = nil
 				return false
 			}
 		}
 		for adv := range src.Seq() {
+			if chunk == nil {
+				chunk = newChunk(next, chunkSize)
+			}
 			chunk.advs = append(chunk.advs, adv)
 			next++
-			if len(chunk.advs) == chunkSize {
-				if !flush() {
-					return
-				}
+			if len(chunk.advs) == chunkSize && !send() {
+				return
 			}
 		}
-		flush()
+		if chunk != nil {
+			send()
+		}
 	}()
 
 	wg.Wait()
@@ -482,44 +557,114 @@ func (e *Engine) sweep(ctx context.Context, refs []string, src Source, deliver f
 	return ctx.Err()
 }
 
-// protoMemo is a worker-local memo of the resolved protocol entries for
-// one Params value. Within a sweep the params only change when the
-// workload varies n or t per adversary, so the memo keeps the hot loop
-// off the engine-global cache mutex entirely.
+// sweep is the materializing executor behind Sweep and the stream
+// variants: a worker pool runs sweepOne per adversary, and deliver
+// receives every fresh Result tagged with its global adversary and
+// protocol indices. Aggregating sweeps use sweepAggregate instead,
+// which replaces deliver with per-worker folding.
+func (e *Engine) sweep(ctx context.Context, refs []string, src Source, deliver func(advIdx, refIdx int, r *Result)) error {
+	return e.sweepExec(ctx, refs, src, func(ctx context.Context, specs []*ProtocolSpec, jobs <-chan *sweepChunk) error {
+		var memo protoMemo
+		for chunk := range jobs {
+			for i, adv := range chunk.advs {
+				if err := e.sweepOne(ctx, refs, specs, adv, chunk.base+i, deliver, &memo); err != nil {
+					return err
+				}
+			}
+			releaseChunk(chunk)
+		}
+		return nil
+	})
+}
+
+// sweepAggregate is the aggregating executor behind SweepSource. Each
+// worker owns a pooled runKit (RunBuffer + knowledge Builder) and a
+// private shard of agg.Acc accumulators — one per protocol — and folds
+// every run into them with plain integer bumps: no Result escapes, no
+// lock is taken, no map is written. A worker merges its shard into the
+// Aggregator exactly once, when the job channel is drained; the merge
+// is the only synchronization point of the whole sweep, so throughput
+// scales with Parallelism instead of flatlining on an aggregator lock.
+func (e *Engine) sweepAggregate(ctx context.Context, refs []string, src Source, a *Aggregator) error {
+	recycleGraphs := e.params.GraphCache == 0 && e.backend.NeedsGraph()
+	return e.sweepExec(ctx, refs, src, func(ctx context.Context, specs []*ProtocolSpec, jobs <-chan *sweepChunk) error {
+		kit := e.getKit(recycleGraphs)
+		defer e.putKit(kit)
+		shard := make([]agg.Acc, len(refs))
+		var memo protoMemo
+		for chunk := range jobs {
+			for _, adv := range chunk.advs {
+				if err := e.foldOne(ctx, refs, specs, adv, a, shard, kit, &memo); err != nil {
+					return err
+				}
+			}
+			releaseChunk(chunk)
+		}
+		a.mergeShard(shard)
+		return nil
+	})
+}
+
+// runKit is the pooled per-worker state of an aggregating sweep: the
+// RunBuffer behind Backend.RunInto and, when graph recycling applies,
+// the worker's knowledge Builder. Kits recycle through the engine's
+// pool so repeated sweeps reuse warmed-up buffers.
+type runKit struct {
+	buf     *RunBuffer
+	builder *knowledge.Builder
+}
+
+func (e *Engine) getKit(recycleGraphs bool) *runKit {
+	kit, _ := e.kits.Get().(*runKit)
+	if kit == nil {
+		kit = &runKit{buf: NewRunBuffer()}
+	}
+	if recycleGraphs && kit.builder == nil {
+		kit.builder = knowledge.NewBuilder()
+	}
+	return kit
+}
+
+func (e *Engine) putKit(kit *runKit) { e.kits.Put(kit) }
+
+// protoMemo is a worker-local memo of the resolved protocol entries and
+// shared horizon for one Params value. Within a sweep the params only
+// change when the workload varies n or t per adversary, so the memo
+// keeps the hot loop off the engine-global cache mutex entirely.
 type protoMemo struct {
 	valid   bool
 	p       Params
+	horizon int
 	entries []protoEntry
 }
 
+// memoFor refreshes the memo when the params change.
+func (e *Engine) memoFor(memo *protoMemo, refs []string, specs []*ProtocolSpec, p Params) {
+	if memo.valid && memo.p == p {
+		return
+	}
+	memo.entries = memo.entries[:0]
+	for refIdx, spec := range specs {
+		memo.entries = append(memo.entries, e.protoFor(refs[refIdx], spec, p))
+	}
+	memo.horizon = e.horizonFor(specs, p)
+	memo.p, memo.valid = p, true
+}
+
 // sweepOne runs all protocols of a sweep against one adversary, sharing
-// one knowledge graph and one rendered adversary string across them. A
-// non-nil builder rebuilds the graph in the worker's reused arena and
-// releases it once every protocol's result has been delivered — callers
-// pass one only when deliver provably drops each Result (see sweep).
-func (e *Engine) sweepOne(ctx context.Context, refs []string, specs []*ProtocolSpec, adv *Adversary, advIdx int, deliver func(advIdx, refIdx int, r *Result), builder *knowledge.Builder, memo *protoMemo) error {
+// one knowledge graph and one memoized adversary-string renderer across
+// them, and delivers each fresh Result.
+func (e *Engine) sweepOne(ctx context.Context, refs []string, specs []*ProtocolSpec, adv *Adversary, advIdx int, deliver func(advIdx, refIdx int, r *Result), memo *protoMemo) error {
 	p, err := e.runParams(adv)
 	if err != nil {
 		return err
 	}
-	if !memo.valid || memo.p != p {
-		memo.entries = memo.entries[:0]
-		for refIdx, spec := range specs {
-			memo.entries = append(memo.entries, e.protoFor(refs[refIdx], spec, p))
-		}
-		memo.p, memo.valid = p, true
-	}
+	e.memoFor(memo, refs, specs, p)
 	var g *knowledge.Graph
 	if e.backend.NeedsGraph() {
-		horizon := e.horizonFor(specs, p)
-		if builder != nil {
-			g = builder.Build(adv, horizon)
-			defer g.Release()
-		} else {
-			g = e.graphFor(adv, horizon)
-		}
+		g = e.graphFor(adv, memo.horizon)
 	}
-	advStr := adv.String()
+	advStr := advString(adv)
 	for refIdx, spec := range specs {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -529,6 +674,47 @@ func (e *Engine) sweepOne(ctx context.Context, refs []string, specs []*ProtocolS
 			return err
 		}
 		deliver(advIdx, refIdx, res)
+	}
+	return nil
+}
+
+// foldOne runs all protocols of an aggregating sweep against one
+// adversary through the pooled RunInto path and folds each outcome into
+// the worker's shard. The context is polled once per adversary (RunInto
+// deliberately skips the per-run check); the knowledge graph is built
+// in the worker's reused arena and released as soon as the adversary's
+// runs are folded — safe because nothing escapes the fold.
+func (e *Engine) foldOne(ctx context.Context, refs []string, specs []*ProtocolSpec, adv *Adversary, a *Aggregator, shard []agg.Acc, kit *runKit, memo *protoMemo) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p, err := e.runParams(adv)
+	if err != nil {
+		return err
+	}
+	e.memoFor(memo, refs, specs, p)
+	var g *knowledge.Graph
+	if e.backend.NeedsGraph() {
+		if kit.builder != nil {
+			g = kit.builder.Build(adv, memo.horizon)
+			defer g.Release()
+		} else {
+			g = e.graphFor(adv, memo.horizon)
+		}
+	}
+	req := &kit.buf.req
+	for refIdx, spec := range specs {
+		ent := &memo.entries[refIdx]
+		*req = RunRequest{
+			Ref: refs[refIdx], Spec: spec,
+			Proto: ent.proto, ProtoErr: ent.err, Name: ent.name,
+			Params: p, Adv: adv, Graph: g,
+		}
+		res, err := e.backend.RunInto(ctx, req, kit.buf)
+		if err != nil {
+			return err
+		}
+		a.fold(&shard[refIdx], refIdx, res, kit.buf)
 	}
 	return nil
 }

@@ -96,6 +96,34 @@ func (p *ProtocolSummary) HistString() string {
 	return s
 }
 
+// Merge folds every run of other into p. Counts and sums add, maxima
+// take the larger side, and histograms add bucket-wise; other is left
+// untouched. Merging rows of different refs is the caller's bug and is
+// rejected so a sharded sweep cannot silently cross-fold protocols.
+func (p *ProtocolSummary) Merge(other *ProtocolSummary) error {
+	if p.Ref != other.Ref {
+		return fmt.Errorf("agg: merging row %q into row %q", other.Ref, p.Ref)
+	}
+	p.Runs += other.Runs
+	p.Undecided += other.Undecided
+	p.Violations += other.Violations
+	p.SumTime += other.SumTime
+	p.TotalBits += other.TotalBits
+	if other.MaxTime > p.MaxTime {
+		p.MaxTime = other.MaxTime
+	}
+	if other.MaxPair > p.MaxPair {
+		p.MaxPair = other.MaxPair
+	}
+	if p.TimeHist == nil && len(other.TimeHist) > 0 {
+		p.TimeHist = make(map[int]int, len(other.TimeHist))
+	}
+	for t, n := range other.TimeHist {
+		p.TimeHist[t] += n
+	}
+	return nil
+}
+
 // Clone returns a deep copy.
 func (p *ProtocolSummary) Clone() *ProtocolSummary {
 	c := *p
@@ -176,6 +204,96 @@ func (s *Summary) Undecided() int {
 		total += p.Undecided
 	}
 	return total
+}
+
+// Merge folds every row of other into s: the result is the summary a
+// single aggregator would have produced had it observed both input
+// streams. It is the combining step of sharded sweeps — each worker
+// folds its shard into a private Summary and the engine merges them
+// once at the end — and of any cross-process aggregation. Every ref of
+// other must exist in s (rows never appear implicitly: a silent new row
+// would hide a protocol mismatch between shards); other is not
+// modified. Merge is not safe for concurrent use — callers serialize,
+// as with Observe.
+func (s *Summary) Merge(other *Summary) error {
+	for _, row := range other.Protocols {
+		dst, ok := s.byRef[row.Ref]
+		if !ok {
+			return fmt.Errorf("agg: merge of unknown protocol %q", row.Ref)
+		}
+		if err := dst.Merge(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Acc is a flat, map-free accumulator for one protocol's shard of a
+// sharded sweep. Workers on the aggregating hot path fold one Obs per
+// run into an Acc — plain integer bumps plus a slice-backed histogram,
+// no map writes and no locks — and flush the whole shard into the
+// shared Summary once, when the shard is drained. The zero value is
+// ready to use.
+type Acc struct {
+	Runs, Undecided, Violations, MaxTime int
+	SumTime                              int64
+	TotalBits                            int64
+	MaxPair                              int
+	hist                                 []int // hist[t+1] = runs deciding at time t; hist[0] = undecided
+}
+
+// Observe folds one run into the accumulator. It mirrors
+// ProtocolSummary.Observe exactly; FlushTo is the bridge between the
+// two representations.
+func (a *Acc) Observe(o Obs) {
+	a.Runs++
+	idx := o.Time + 1
+	if idx < 0 {
+		idx = 0 // defensively bucket nonsense times with undecided
+	}
+	for len(a.hist) <= idx {
+		a.hist = append(a.hist, 0)
+	}
+	a.hist[idx]++
+	if o.Time < 0 {
+		a.Undecided++
+	} else {
+		a.SumTime += int64(o.Time)
+		if o.Time > a.MaxTime {
+			a.MaxTime = o.Time
+		}
+	}
+	if o.Violation {
+		a.Violations++
+	}
+	a.TotalBits += o.Bits
+	if o.MaxPairBits > a.MaxPair {
+		a.MaxPair = o.MaxPairBits
+	}
+}
+
+// FlushTo folds the accumulator into row and resets the accumulator for
+// reuse. The histogram translates index-wise: hist[0] lands in the −1
+// (undecided) bucket.
+func (a *Acc) FlushTo(row *ProtocolSummary) {
+	row.Runs += a.Runs
+	row.Undecided += a.Undecided
+	row.Violations += a.Violations
+	row.SumTime += a.SumTime
+	row.TotalBits += a.TotalBits
+	if a.MaxTime > row.MaxTime {
+		row.MaxTime = a.MaxTime
+	}
+	if a.MaxPair > row.MaxPair {
+		row.MaxPair = a.MaxPair
+	}
+	for idx, n := range a.hist {
+		if n > 0 {
+			row.TimeHist[idx-1] += n
+		}
+	}
+	hist := a.hist[:0]
+	*a = Acc{hist: hist}
 }
 
 // Clone returns a deep copy — the snapshot Aggregator.Summary hands out.

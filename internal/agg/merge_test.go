@@ -1,0 +1,107 @@
+package agg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomObs(rng *rand.Rand) Obs {
+	o := Obs{Time: rng.Intn(8) - 1}
+	o.Violation = rng.Intn(10) == 0
+	if rng.Intn(2) == 0 {
+		o.Bits = int64(rng.Intn(500))
+		o.MaxPairBits = rng.Intn(40)
+	}
+	return o
+}
+
+func requireRowsEqual(t *testing.T, got, want *ProtocolSummary) {
+	t.Helper()
+	if got.Ref != want.Ref || got.Runs != want.Runs || got.Undecided != want.Undecided ||
+		got.Violations != want.Violations || got.MaxTime != want.MaxTime ||
+		got.SumTime != want.SumTime || got.TotalBits != want.TotalBits || got.MaxPair != want.MaxPair {
+		t.Fatalf("row %s: got %+v, want %+v", want.Ref, got, want)
+	}
+	if len(got.TimeHist) != len(want.TimeHist) {
+		t.Fatalf("row %s: hist sizes %d vs %d", want.Ref, len(got.TimeHist), len(want.TimeHist))
+	}
+	for tm, n := range want.TimeHist {
+		if got.TimeHist[tm] != n {
+			t.Fatalf("row %s: hist[%d] = %d, want %d", want.Ref, tm, got.TimeHist[tm], n)
+		}
+	}
+}
+
+// TestSummaryMergeMatchesSequential feeds one randomized observation
+// stream to a single summary, and the same stream split across shards
+// that merge at the end: the results must be identical.
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	refs := []string{"a", "b"}
+	sequential := New("w", refs)
+	const shards = 4
+	parts := make([]*Summary, shards)
+	for i := range parts {
+		parts[i] = New("w", refs)
+	}
+	for i := 0; i < 500; i++ {
+		ref := refs[rng.Intn(len(refs))]
+		o := randomObs(rng)
+		if err := sequential.Observe(ref, o); err != nil {
+			t.Fatal(err)
+		}
+		if err := parts[rng.Intn(shards)].Observe(ref, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := New("w", refs)
+	for _, part := range parts {
+		if err := merged.Merge(part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range refs {
+		requireRowsEqual(t, merged.Protocols[i], sequential.Protocols[i])
+	}
+}
+
+// TestSummaryMergeRejectsMismatch pins the guard rails: merging unknown
+// refs or cross-ref rows is an error, not a silent new row.
+func TestSummaryMergeRejectsMismatch(t *testing.T) {
+	s := New("w", []string{"a"})
+	if err := s.Merge(New("w", []string{"a", "b"})); err == nil {
+		t.Error("merging a summary with an unknown ref must error")
+	}
+	ra := &ProtocolSummary{Ref: "a", TimeHist: map[int]int{}}
+	rb := &ProtocolSummary{Ref: "b", TimeHist: map[int]int{}}
+	if err := ra.Merge(rb); err == nil {
+		t.Error("merging rows of different refs must error")
+	}
+}
+
+// TestAccMatchesObserve drives the flat accumulator and the map-backed
+// row with the same stream; FlushTo must land on the identical row, and
+// must reset the accumulator for reuse.
+func TestAccMatchesObserve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var acc Acc
+	direct := &ProtocolSummary{Ref: "x", TimeHist: map[int]int{}}
+	flushed := &ProtocolSummary{Ref: "x", TimeHist: map[int]int{}}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 200; i++ {
+			o := randomObs(rng)
+			direct.Observe(o)
+			acc.Observe(o)
+		}
+		acc.FlushTo(flushed) // interleaved flushes must accumulate, not overwrite
+	}
+	requireRowsEqual(t, flushed, direct)
+	if acc.Runs != 0 || acc.SumTime != 0 {
+		t.Fatalf("FlushTo did not reset the accumulator: %+v", acc)
+	}
+	// A reused accumulator must not resurrect stale histogram buckets.
+	acc.Observe(Obs{Time: 2})
+	acc.FlushTo(flushed)
+	direct.Observe(Obs{Time: 2})
+	requireRowsEqual(t, flushed, direct)
+}

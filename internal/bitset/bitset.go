@@ -146,6 +146,16 @@ func (s *Set) SubtractWith(o *Set) *Set {
 	return s
 }
 
+// Clear removes every element, keeping the backing storage, and returns
+// s. It is the reset step of scratch sets on hot paths: after the first
+// few calls a Clear-then-Add cycle allocates nothing.
+func (s *Set) Clear() *Set {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	return s
+}
+
 // CopyFrom makes s hold exactly the elements of o, reusing s's backing
 // array when it is large enough, and returns s. It is the in-place
 // counterpart of Clone for scratch buffers on hot paths.

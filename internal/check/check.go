@@ -35,6 +35,23 @@ func (t Task) String() string {
 // It returns nil when the run satisfies the task, and a descriptive error
 // naming the first violated property otherwise.
 func VerifyRun(res *sim.Result, task Task) error {
+	var sc Scratch
+	return sc.VerifyRun(res, task)
+}
+
+// Scratch holds the working sets one VerifyRun call needs. Sweep paths
+// that verify every run keep one Scratch per worker and call its
+// VerifyRun method: after the first run nothing allocates on the
+// satisfied path (errors still render their diagnostics). A Scratch
+// serves one goroutine at a time.
+type Scratch struct {
+	present, deciders, decided bitset.Set
+}
+
+// VerifyRun is the allocation-free form of the package-level VerifyRun:
+// identical verdicts and messages, with every intermediate set drawn
+// from the scratch.
+func (sc *Scratch) VerifyRun(res *sim.Result, task Task) error {
 	adv := res.Adv
 	// Decision.
 	for i := 0; i < adv.N(); i++ {
@@ -44,7 +61,7 @@ func VerifyRun(res *sim.Result, task Task) error {
 		}
 	}
 	// Validity.
-	present := &bitset.Set{}
+	present := sc.present.Clear()
 	for _, v := range adv.Inputs {
 		present.Add(v)
 	}
@@ -55,13 +72,13 @@ func VerifyRun(res *sim.Result, task Task) error {
 		}
 	}
 	// Agreement.
-	var deciders *bitset.Set
-	if task.Uniform {
-		deciders = bitset.Full(adv.N())
-	} else {
-		deciders = adv.Pattern.CorrectProcs()
+	deciders := sc.deciders.Clear()
+	for i := 0; i < adv.N(); i++ {
+		if task.Uniform || adv.Pattern.Correct(i) {
+			deciders.Add(i)
+		}
 	}
-	decided := res.DecidedValues(deciders)
+	decided := res.AppendDecidedValues(sc.decided.Clear(), deciders)
 	if decided.Count() > task.K {
 		return fmt.Errorf("%s: %s Agreement violated: values %s decided (%s)",
 			res.ProtocolName, task, decided, adv)

@@ -1,0 +1,76 @@
+package enum
+
+import (
+	"testing"
+
+	"setconsensus/internal/model"
+)
+
+// TestBinaryKeyedDedupMatchesCanonicalStrings re-derives the canonical
+// enumeration the slow way — materializing Canonical() and keying the
+// dedup set on its rendered string, the scheme the binary fingerprint
+// replaced — and requires the streamed iterator to agree adversary for
+// adversary, offset for offset. A fingerprint collision or a missed
+// canonical equivalence diverges here.
+func TestBinaryKeyedDedupMatchesCanonicalStrings(t *testing.T) {
+	spaces := []Space{
+		{N: 3, T: 2, MaxRound: 2, Values: []model.Value{0, 1}},
+		{N: 4, T: 1, MaxRound: 3, Values: []model.Value{0, 1, 2}},
+		{N: 2, T: 1, MaxRound: 1, Values: []model.Value{0}},
+	}
+	for _, s := range spaces {
+		type entry struct {
+			offset int
+			adv    string
+		}
+		var want []entry
+		block := s.inputCount()
+		seen := make(map[string]struct{})
+		idx := 0
+		s.forEachPattern(func(fp *model.FailurePattern) bool {
+			canon := fp.Canonical()
+			key := canon.String()
+			if _, dup := seen[key]; dup {
+				return true
+			}
+			seen[key] = struct{}{}
+			s.forEachInputsFrom(0, func(i int, inputs []model.Value) bool {
+				want = append(want, entry{idx + i, model.NewAdversary(inputs, canon).String()})
+				return true
+			})
+			idx += block
+			return true
+		})
+
+		var got []entry
+		for off, adv := range s.All() {
+			got = append(got, entry{off, adv.String()})
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%+v: binary-keyed walk yields %d adversaries, canonical-string walk %d", s, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: walks diverge at %d: got %+v, want %+v", s, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAdversariesAreIndependent pins the slab carving: every yielded
+// adversary owns its inputs — retaining some while the enumeration
+// continues must not let later vectors overwrite earlier ones.
+func TestAdversariesAreIndependent(t *testing.T) {
+	s := Space{N: 3, T: 1, MaxRound: 1, Values: []model.Value{0, 1}}
+	var advs []*model.Adversary
+	var rendered []string
+	for _, a := range s.All() {
+		advs = append(advs, a)
+		rendered = append(rendered, a.String())
+	}
+	for i, a := range advs {
+		if a.String() != rendered[i] {
+			t.Fatalf("adversary %d mutated after the walk: %s vs %s", i, a.String(), rendered[i])
+		}
+	}
+}

@@ -65,13 +65,48 @@ func (s Space) inputCount() int {
 // time (such deliveries are unobservable: dead processes never read).
 //
 // The walk never materializes adversaries, but canonical deduplication
-// retains one key string per distinct failure pattern seen, so a full
-// pass holds O(#patterns) memory — a factor len(Values)^N below the
-// adversary count, never proportional to it.
+// retains one key per distinct failure pattern seen — the compact binary
+// fingerprint of FailurePattern.AppendFingerprint, built in a reused
+// buffer, not a rendered string — so a full pass holds O(#patterns)
+// memory, a factor len(Values)^N below the adversary count, never
+// proportional to it. Duplicate patterns are rejected on the raw
+// fingerprint alone: the canonical pattern is only materialized for
+// patterns that survive deduplication.
 //
 // The iterator requires a valid space; an invalid one yields nothing —
 // callers that need the error use Validate or ForEach.
 func (s Space) All() iter.Seq2[int, *model.Adversary] { return s.From(0) }
+
+// advSlabSize is how many adversaries share one Inputs/struct slab in
+// the enumeration: big enough to amortize allocation to noise, small
+// enough that a consumer retaining one adversary pins only a sliver.
+const advSlabSize = 64
+
+// advSlab carves adversaries out of block allocations so the
+// enumeration costs two allocations per advSlabSize adversaries instead
+// of two per adversary. Carved adversaries are independent values; the
+// slab is only the backing memory.
+type advSlab struct {
+	advs   []model.Adversary
+	inputs []model.Value
+}
+
+func (sl *advSlab) carve(inputs []model.Value, pattern *model.FailurePattern) *model.Adversary {
+	n := len(inputs)
+	if len(sl.advs) == 0 {
+		sl.advs = make([]model.Adversary, advSlabSize)
+	}
+	if len(sl.inputs) < n {
+		sl.inputs = make([]model.Value, n*advSlabSize)
+	}
+	in := sl.inputs[:n:n]
+	sl.inputs = sl.inputs[n:]
+	copy(in, inputs)
+	adv := &sl.advs[0]
+	sl.advs = sl.advs[1:]
+	adv.Inputs, adv.Pattern = in, pattern
+	return adv
+}
 
 // From resumes the enumeration of All at the given offset: it yields the
 // suffix beginning with the offset-th canonical adversary, with the same
@@ -88,25 +123,30 @@ func (s Space) From(offset int) iter.Seq2[int, *model.Adversary] {
 		}
 		block := s.inputCount()
 		seen := make(map[string]struct{})
+		keyBuf := make([]byte, 0, 64)
+		var slab advSlab
 		idx := 0
 		s.forEachPattern(func(fp *model.FailurePattern) bool {
-			canon := fp.Canonical()
-			key := canon.String()
-			if _, dup := seen[key]; dup {
+			// Dedup on the raw pattern's binary fingerprint: it strips
+			// unobservable deliveries during encoding, so it equals the
+			// canonical pattern's fingerprint without building it.
+			keyBuf = fp.AppendFingerprint(keyBuf[:0])
+			if _, dup := seen[string(keyBuf)]; dup {
 				return true
 			}
-			seen[key] = struct{}{}
+			seen[string(keyBuf)] = struct{}{}
 			if idx+block <= offset {
 				idx += block // fast-skip: the whole block precedes the offset
 				return true
 			}
+			canon := fp.Canonical()
 			start := 0
 			if idx < offset {
 				start = offset - idx
 			}
 			cont := true
 			s.forEachInputsFrom(start, func(i int, inputs []model.Value) bool {
-				cont = yield(idx+i, model.NewAdversary(inputs, canon))
+				cont = yield(idx+i, slab.carve(inputs, canon))
 				return cont
 			})
 			idx += block

@@ -17,17 +17,95 @@ import (
 // Graphs from Build are indistinguishable from graphs from New; the only
 // difference is the lifecycle contract that Release adds.
 type Builder struct {
-	sc    buildScratch
-	spare *storage
+	sc       buildScratch
+	spare    storage
+	hasSpare bool
+	// spareG and lastPat remember the released graph and the failure
+	// pattern it was built over, enabling the revive fast path: a
+	// rebuild over the same pattern (by pointer — patterns are immutable
+	// by repo-wide contract) at the same horizon reuses every
+	// pattern-derived table verbatim and recomputes only the value
+	// layer. Exhaustive enumerations yield all input vectors of one
+	// canonical pattern consecutively, sharing the *FailurePattern, so
+	// aggregating sweep workers hit this path for all but the first
+	// adversary of each pattern block.
+	spareG  *Graph
+	lastPat *model.FailurePattern
+	// scPat/scHorizon/scN record which (pattern, horizon, n) the build
+	// scratch currently describes — only full builds mutate sc, and
+	// revive's fillValues reads sc.cr and sc.base, so reviving is only
+	// sound while the scratch still matches the spare graph. An
+	// interleaved full build over another adversary (legal: multiple
+	// graphs from one Builder may be live) invalidates the scratch
+	// without touching the spare, and these fields are how revive
+	// notices.
+	scPat     *model.FailurePattern
+	scHorizon int
+	scN       int
 }
 
 // NewBuilder returns an empty Builder. The zero value is also usable.
 func NewBuilder() *Builder { return &Builder{} }
 
 // Build computes the communication graph of adv up to horizon, reusing
-// the builder's scratch and any storage a previous graph released.
+// the builder's scratch and any storage a previous graph released. When
+// the released graph was built over the same failure pattern at the
+// same horizon, only the input-dependent tables (value sets, minima)
+// are recomputed.
 func (b *Builder) Build(adv *model.Adversary, horizon int) *Graph {
+	if g := b.revive(adv, horizon); g != nil {
+		return g
+	}
 	return build(adv, horizon, &b.sc, b)
+}
+
+// revive reattaches the released spare graph for a same-pattern,
+// same-horizon rebuild: the views, knownCrash, and hidden tables depend
+// only on the failure pattern and are reused verbatim; the value region
+// of the arena is zeroed and refilled from the new inputs. Returns nil
+// when the spare does not match (different pattern, horizon, process
+// count, or inputs too wide for the reused value-set layout) — the
+// caller then runs a full build. Reviving additionally requires the
+// builder's scratch to still describe this pattern's full build
+// (scPat/scHorizon/scN): fillValues reads the crash rounds and layer-0
+// offsets from it, and a full build over a different adversary between
+// Release and rebuild overwrites them.
+func (b *Builder) revive(adv *model.Adversary, horizon int) *Graph {
+	g := b.spareG
+	if g == nil || !b.hasSpare || adv.Pattern != b.lastPat || horizon != g.Horizon || adv.N() != g.n {
+		return nil
+	}
+	if b.scPat != adv.Pattern || b.scHorizon != horizon || b.scN != adv.N() {
+		return nil
+	}
+	maxV := -1
+	for _, v := range adv.Inputs {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV >= 0 && (maxV>>6)+1 > g.wv {
+		return nil
+	}
+	g.store = b.spare
+	b.spare, b.hasSpare, b.spareG, b.lastPat = storage{}, false, nil, nil
+	g.owner = b
+	g.Adv = adv
+	nodes := (g.Horizon + 1) * g.n
+	kcLen := nodes * g.n
+	hidLen := nodes * (g.Horizon + 1)
+	ints := g.store.ints
+	g.knownCrash = ints[:kcLen]
+	g.hiddenCount = ints[kcLen : kcLen+hidLen]
+	g.hc = ints[kcLen+hidLen : kcLen+hidLen+nodes]
+	g.fails = ints[kcLen+hidLen+nodes : kcLen+hidLen+2*nodes]
+	g.minVal = ints[kcLen+hidLen+2*nodes : kcLen+hidLen+3*nodes]
+	vals := g.store.arena[g.valsOff : g.valsOff+nodes*g.wv]
+	for i := range vals {
+		vals[i] = 0
+	}
+	fillValues(g, &b.sc)
+	return g
 }
 
 // Release returns the graph's storage to the Builder that built it, for
@@ -39,10 +117,13 @@ func (g *Graph) Release() {
 	if g.owner == nil {
 		return
 	}
-	st := g.store
+	o := g.owner
+	o.spare = g.store
+	o.hasSpare = true
+	o.spareG = g
+	o.lastPat = g.Adv.Pattern
 	g.store = storage{}
 	g.knownCrash, g.hiddenCount, g.hc, g.fails, g.minVal = nil, nil, nil, nil, nil
-	g.owner.spare = &st
 	g.owner = nil
 }
 
@@ -192,6 +273,9 @@ func build(adv *model.Adversary, horizon int, sc *buildScratch, owner *Builder) 
 	}
 
 	sc.prepare(adv.Pattern, n, w, h)
+	if owner != nil {
+		owner.scPat, owner.scHorizon, owner.scN = adv.Pattern, h, n
+	}
 
 	// Count layer sets: every process has one layer at time 0; an active
 	// node at time m ≥ 1 owns m+1 fresh layers, a frozen node shares its
@@ -211,19 +295,18 @@ func build(adv *model.Adversary, horizon int, sc *buildScratch, owner *Builder) 
 	hidLen := nodes * (h + 1)
 	intsLen := kcLen + hidLen + 3*nodes
 
-	var st *storage
-	if owner != nil && owner.spare != nil {
+	var st storage
+	if owner != nil && owner.hasSpare {
 		st = owner.spare
-		owner.spare = nil
-	} else {
-		st = &storage{}
+		owner.spare, owner.hasSpare = storage{}, false
+		owner.spareG, owner.lastPat = nil, nil
 	}
 	st.ensure(arenaLen, totalSets, nodes, intsLen)
 
 	g := &Graph{
 		Adv: adv, Horizon: h,
 		n: n, w: w, wv: wv,
-		store: *st, owner: owner,
+		store: st, owner: owner,
 		valsOff: valsOff,
 	}
 	ints := g.store.ints
@@ -374,7 +457,19 @@ func build(adv *model.Adversary, horizon int, sc *buildScratch, owner *Builder) 
 		}
 	}
 
-	// ---- value sets + minima ----
+	fillValues(g, sc)
+	return g
+}
+
+// fillValues computes the input-dependent tables — per-node value sets
+// and minima — into g's arena and minVal slab, both already zeroed. It
+// is the build step revive repeats for a new input vector over a reused
+// pattern, reading the crash rounds and layer-0 offsets the pattern's
+// full build left in sc.
+func fillValues(g *Graph, sc *buildScratch) {
+	adv := g.Adv
+	n, h, w, wv, valsOff := g.n, g.Horizon, g.w, g.wv, g.valsOff
+	arena := g.store.arena
 	for m := 0; m <= h; m++ {
 		for i := 0; i < n; i++ {
 			node := m*n + i
@@ -403,5 +498,4 @@ func build(adv *model.Adversary, horizon int, sc *buildScratch, owner *Builder) 
 			g.minVal[node] = minV
 		}
 	}
-	return g
 }

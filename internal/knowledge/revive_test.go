@@ -1,0 +1,125 @@
+package knowledge
+
+import (
+	"math/rand"
+	"testing"
+
+	"setconsensus/internal/model"
+)
+
+// TestBuilderReviveEquivalence pins the revive fast path: rebuilding
+// through one Builder over the same failure pattern with varying input
+// vectors — the exact accesses of an aggregating sweep walking one
+// canonical pattern block — must produce graphs indistinguishable from
+// the naive reference, query for query. A stale value table or a
+// pattern-derived table corrupted by the value-only rebuild diverges
+// here.
+func TestBuilderReviveEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder()
+	for trial := 0; trial < 12; trial++ {
+		base := randomAdversary(rng, 5, 3, 3, 3)
+		horizon := 4
+		// Walk several input vectors over the shared pattern, releasing
+		// between builds as the sweep path does. The first build is full,
+		// the rest revive.
+		for vec := 0; vec < 5; vec++ {
+			inputs := make([]model.Value, base.N())
+			for i := range inputs {
+				inputs[i] = rng.Intn(4)
+			}
+			adv := &model.Adversary{Inputs: inputs, Pattern: base.Pattern}
+			g := b.Build(adv, horizon)
+			checkEquivalent(t, g, newReference(adv, horizon))
+			g.Release()
+		}
+	}
+}
+
+// TestBuilderReviveRejectsMismatch asserts the revive path refuses
+// anything but the same pattern at the same horizon: a different
+// pattern, a different horizon, or wider inputs must fall back to a
+// full (correct) build rather than reuse stale tables.
+func TestBuilderReviveRejectsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := NewBuilder()
+	a1 := randomAdversary(rng, 4, 2, 2, 2)
+	b.Build(a1, 3).Release()
+
+	// Different horizon over the same pattern.
+	g := b.Build(a1, 4)
+	checkEquivalent(t, g, newReference(a1, 4))
+	g.Release()
+
+	// Different pattern entirely.
+	a2 := randomAdversary(rng, 4, 2, 2, 2)
+	for a2.Pattern.Fingerprint() == a1.Pattern.Fingerprint() {
+		a2 = randomAdversary(rng, 4, 2, 2, 2)
+	}
+	g = b.Build(a2, 4)
+	checkEquivalent(t, g, newReference(a2, 4))
+	g.Release()
+
+	// Same pattern, inputs too wide for the reused value layout (value
+	// ≥ 64 needs a second value word).
+	wide := &model.Adversary{Inputs: []model.Value{70, 0, 1, 2}, Pattern: a2.Pattern}
+	g = b.Build(wide, 4)
+	checkEquivalent(t, g, newReference(wide, 4))
+	g.Release()
+}
+
+// TestBuilderReviveSurvivesInterleavedBuilds pins the stale-scratch
+// guard: multiple graphs from one Builder may be live at once, and a
+// full build over adversary B between A's Release and A's same-pattern
+// rebuild overwrites the build scratch that fillValues would read. The
+// revive path must notice the scratch no longer describes A's pattern
+// and fall back to a full (correct) build — before the guard, this
+// sequence silently produced wrong value tables.
+func TestBuilderReviveSurvivesInterleavedBuilds(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	b := NewBuilder()
+	advA := randomAdversary(rng, 5, 3, 3, 3)
+	// A deliberately different shape (fewer processes, other pattern) so
+	// a stale-scratch read would be loudly wrong, not coincidentally right.
+	advB := randomAdversary(rng, 3, 1, 2, 2)
+
+	gA := b.Build(advA, 4)
+	gB := b.Build(advB, 2) // overwrites the scratch while gA is live
+	gA.Release()
+	advA2 := &model.Adversary{Inputs: []model.Value{3, 1, 0, 2, 1}, Pattern: advA.Pattern}
+	gA2 := b.Build(advA2, 4) // same pattern as the spare, but scratch is B's
+	checkEquivalent(t, gA2, newReference(advA2, 4))
+	gA2.Release()
+	gB.Release()
+
+	// Same-pattern different-horizon interleaving: the spare graph keeps
+	// horizon 4 but the scratch now describes horizon 2 of the same
+	// pattern; reviving the horizon-4 spare off the horizon-2 scratch
+	// would read misindexed layer-0 offsets.
+	gH4 := b.Build(advA, 4)
+	gH2 := b.Build(&model.Adversary{Inputs: advA.Inputs, Pattern: advA.Pattern}, 2)
+	gH4.Release()
+	gH4b := b.Build(advA2, 4)
+	checkEquivalent(t, gH4b, newReference(advA2, 4))
+	gH4b.Release()
+	gH2.Release()
+}
+
+// TestBuilderReviveAllocationFree asserts the steady state of a pattern
+// block costs no allocations at all: after the full build, each
+// release-and-rebuild over the same pattern reuses graph, storage, and
+// scratch verbatim.
+func TestBuilderReviveAllocationFree(t *testing.T) {
+	adv, err := model.Collapse(model.CollapseParams{K: 2, R: 3, ExtraCorrect: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder()
+	b.Build(adv, 5).Release()
+	avg := testing.AllocsPerRun(50, func() {
+		b.Build(adv, 5).Release()
+	})
+	if avg != 0 {
+		t.Fatalf("revive build allocated %.1f objects per run, want 0", avg)
+	}
+}

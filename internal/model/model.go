@@ -11,6 +11,7 @@ package model
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sort"
 	"strconv"
 
@@ -284,6 +285,64 @@ func (a *Adversary) String() string {
 	return string(b)
 }
 
+// AppendFingerprint appends the pattern's canonical binary encoding to
+// b and returns the extended buffer. Observably equal patterns — equal
+// up to deliveries to the crasher itself or to receivers already dead
+// at receipt time, which no protocol can distinguish — append identical
+// bytes, exactly the Canonical equivalence, without materializing the
+// canonical pattern. The encoding is varints (crasher, round) plus raw
+// delivery-mask words, sorted by crasher; it is an opaque key to hash
+// and compare, never to parse. The call itself allocates nothing beyond
+// growing b (up to 8 crashers sort in a stack buffer), so enumeration
+// hot loops can dedup millions of patterns through one reused buffer.
+func (f *FailurePattern) AppendFingerprint(b []byte) []byte {
+	w := (f.N + 63) >> 6
+	var stack [8]Proc
+	var procs []Proc
+	if len(f.Crashes) <= len(stack) {
+		procs = stack[:0]
+		for p := range f.Crashes {
+			procs = append(procs, p)
+		}
+		sort.Ints(procs)
+	} else {
+		procs = f.sortedFaulty()
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	for _, p := range procs {
+		c := f.Crashes[p]
+		b = append(b, tmp[:binary.PutUvarint(tmp[:], uint64(p))]...)
+		b = append(b, tmp[:binary.PutUvarint(tmp[:], uint64(c.Round))]...)
+		for wi := 0; wi < w; wi++ {
+			var word uint64
+			dw := c.Delivered.Words()
+			if wi < len(dw) {
+				word = dw[wi]
+			}
+			// Strip the unobservable bits word by word: self-delivery and
+			// receivers dead at receipt time.
+			var keep uint64
+			for word != 0 {
+				bit := word & (-word)
+				q := wi*64 + bits.TrailingZeros64(word)
+				word &^= bit
+				if q != p && q < f.N && f.Active(q, c.Round) {
+					keep |= bit
+				}
+			}
+			binary.LittleEndian.PutUint64(tmp[:8], keep)
+			b = append(b, tmp[:8]...)
+		}
+	}
+	return b
+}
+
+// Fingerprint returns the pattern's canonical binary key as a string —
+// AppendFingerprint materialized for map use.
+func (f *FailurePattern) Fingerprint() string {
+	return string(f.AppendFingerprint(make([]byte, 0, 64)))
+}
+
 // Fingerprint returns a canonical identity key for the adversary:
 // structurally equal adversaries — equal inputs and observably equal
 // failure patterns, however they were built — share a fingerprint.
@@ -291,38 +350,18 @@ func (a *Adversary) String() string {
 //
 // The key is a compact binary encoding (varints plus raw delivery-mask
 // words), not a rendered string: it is hashed by the map that holds it
-// and compared byte-wise, never parsed or displayed. Unobservable
-// deliveries — to the crasher itself, or to receivers already dead at
-// receipt time — are stripped during encoding, exactly the Canonical
-// equivalence, without materializing the canonical pattern.
+// and compared byte-wise, never parsed or displayed. The failure-pattern
+// suffix is FailurePattern.AppendFingerprint, so unobservable deliveries
+// are stripped during encoding without materializing the canonical
+// pattern.
 func (a *Adversary) Fingerprint() string {
 	f := a.Pattern
 	w := (f.N + 63) >> 6
-	procs := f.sortedFaulty()
-	b := make([]byte, 0, 2*binary.MaxVarintLen64*(len(a.Inputs)+1)+len(procs)*(2*binary.MaxVarintLen64+8*w))
+	b := make([]byte, 0, 2*binary.MaxVarintLen64*(len(a.Inputs)+1)+len(f.Crashes)*(2*binary.MaxVarintLen64+8*w))
 	var tmp [binary.MaxVarintLen64]byte
 	b = append(b, tmp[:binary.PutUvarint(tmp[:], uint64(len(a.Inputs)))]...)
 	for _, v := range a.Inputs {
 		b = append(b, tmp[:binary.PutVarint(tmp[:], int64(v))]...)
 	}
-	mask := make([]uint64, w) // one buffer for every crasher, zeroed between
-	for _, p := range procs {
-		c := f.Crashes[p]
-		b = append(b, tmp[:binary.PutUvarint(tmp[:], uint64(p))]...)
-		b = append(b, tmp[:binary.PutUvarint(tmp[:], uint64(c.Round))]...)
-		for i := range mask {
-			mask[i] = 0
-		}
-		c.Delivered.ForEach(func(q int) bool {
-			if q != p && q < f.N && f.Active(q, c.Round) {
-				mask[q>>6] |= 1 << uint(q&63)
-			}
-			return true
-		})
-		for _, word := range mask {
-			binary.LittleEndian.PutUint64(tmp[:8], word)
-			b = append(b, tmp[:8]...)
-		}
-	}
-	return string(b)
+	return string(f.AppendFingerprint(b))
 }

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+
+	"setconsensus/internal/bitset"
+	"setconsensus/internal/knowledge"
+	"setconsensus/internal/model"
+)
+
+// TestRunWithGraphIntoMatchesRunWithGraph pins the pooled run path
+// against the allocating one, decision for decision, across adversaries
+// of different shapes run through one reused scratch.
+func TestRunWithGraphIntoMatchesRunWithGraph(t *testing.T) {
+	advs := []*model.Adversary{
+		model.NewBuilder(3, 1).Input(0, 0).MustBuild(),
+		model.NewBuilder(3, 1).CrashSilent(2, 1).MustBuild(),
+		model.NewBuilder(4, 2).Inputs(0, 1, 2, 1).CrashSilent(3, 2).MustBuild(),
+		model.NewBuilder(2, 0).MustBuild(),
+	}
+	var sc Scratch
+	var pooled Result
+	for _, adv := range advs {
+		for _, when := range []int{1, 2} {
+			p := minAtTime("p", when)
+			g := knowledge.New(adv, when)
+			want := RunWithGraph(p, g)
+			RunWithGraphInto(p, g, &sc, &pooled)
+			if pooled.ProtocolName != want.ProtocolName || pooled.Adv != want.Adv || pooled.Graph != want.Graph {
+				t.Fatalf("pooled metadata diverged: %+v vs %+v", pooled, want)
+			}
+			if len(pooled.Decisions) != len(want.Decisions) {
+				t.Fatalf("decision count %d vs %d", len(pooled.Decisions), len(want.Decisions))
+			}
+			for i := range want.Decisions {
+				got, exp := pooled.Decisions[i], want.Decisions[i]
+				switch {
+				case (got == nil) != (exp == nil):
+					t.Fatalf("process %d: pooled %v vs fresh %v", i, got, exp)
+				case got != nil && (got.Value != exp.Value || got.Time != exp.Time):
+					t.Fatalf("process %d: pooled %+v vs fresh %+v", i, *got, *exp)
+				}
+			}
+			if got, exp := pooled.MaxCorrectDecisionTime(), want.MaxCorrectDecisionTime(); got != exp {
+				t.Fatalf("MaxCorrectDecisionTime %d vs %d", got, exp)
+			}
+		}
+	}
+}
+
+// TestRunWithGraphIntoAllocationFree asserts the steady state: once the
+// scratch is warm, a pooled run allocates nothing.
+func TestRunWithGraphIntoAllocationFree(t *testing.T) {
+	adv := model.NewBuilder(4, 1).CrashSilent(3, 1).MustBuild()
+	p := minAtTime("p", 2)
+	g := knowledge.New(adv, 2)
+	var sc Scratch
+	var res Result
+	RunWithGraphInto(p, g, &sc, &res) // warm up
+	avg := testing.AllocsPerRun(50, func() {
+		RunWithGraphInto(p, g, &sc, &res)
+	})
+	if avg != 0 {
+		t.Fatalf("pooled run allocated %.1f objects per run, want 0", avg)
+	}
+}
+
+// TestAppendDecidedValues pins the append variant against DecidedValues
+// and its accumulate-into-dst contract.
+func TestAppendDecidedValues(t *testing.T) {
+	adv := model.NewBuilder(3, 2).Inputs(0, 1, 2).CrashSilent(2, 2).MustBuild()
+	p := &Func{
+		ProtoName: "own-value",
+		Horizon:   1,
+		Rule: func(g *knowledge.Graph, i model.Proc, m int) (model.Value, bool) {
+			return g.Adv.Inputs[i], m == 0
+		},
+	}
+	res := Run(p, adv)
+	procs := adv.Pattern.CorrectProcs()
+	want := res.DecidedValues(procs)
+	dst := &bitset.Set{}
+	if got := res.AppendDecidedValues(dst, procs); got != dst {
+		t.Fatal("AppendDecidedValues must return dst")
+	}
+	if !dst.Equal(want) {
+		t.Fatalf("AppendDecidedValues = %s, DecidedValues = %s", dst, want)
+	}
+	// Accumulation: pre-seeded elements stay.
+	dst.Clear().Add(63)
+	res.AppendDecidedValues(dst, procs)
+	if !dst.Contains(63) || dst.Count() != want.Count()+1 {
+		t.Fatalf("append did not accumulate: %s", dst)
+	}
+}

@@ -87,6 +87,74 @@ func RunWithGraph(p Protocol, g *knowledge.Graph) *Result {
 	return res
 }
 
+// Scratch is reusable decision storage for RunWithGraphInto and for
+// backends converting foreign decision records into []*Decision without
+// per-run allocation. One Scratch serves one goroutine; Reset hands out
+// the pointer slice for a run of n processes and Put records decisions
+// into a slab whose capacity Reset guarantees, so the interior pointers
+// stay valid for the whole run. Everything returned aliases the scratch
+// and is overwritten by the next Reset.
+type Scratch struct {
+	ptrs []*Decision
+	slab []Decision
+	cr   []int // crash round per process, hoisted from the pattern map
+}
+
+// Reset prepares storage for one run over n processes and returns the
+// nil-filled Decisions slice. At most n Puts may follow before the next
+// Reset.
+func (sc *Scratch) Reset(n int) []*Decision {
+	if cap(sc.ptrs) < n {
+		sc.ptrs = make([]*Decision, n)
+	}
+	sc.ptrs = sc.ptrs[:n]
+	for i := range sc.ptrs {
+		sc.ptrs[i] = nil
+	}
+	if cap(sc.slab) < n {
+		sc.slab = make([]Decision, 0, n)
+	}
+	sc.slab = sc.slab[:0]
+	return sc.ptrs
+}
+
+// Put appends d to the slab and records it as process i's decision.
+func (sc *Scratch) Put(i model.Proc, d Decision) {
+	sc.slab = append(sc.slab, d)
+	sc.ptrs[i] = &sc.slab[len(sc.slab)-1]
+}
+
+// RunWithGraphInto is RunWithGraph with pooled storage: it fills res in
+// place and stores all decisions in sc, allocating nothing once the
+// scratch has warmed up. res.Decisions aliases sc and is valid only
+// until the next Reset/RunWithGraphInto on the same scratch — callers
+// that retain results use RunWithGraph. The crash rounds are hoisted
+// out of the pattern map once per run, so the inner loop does no map
+// lookups the protocol itself doesn't make.
+func RunWithGraphInto(p Protocol, g *knowledge.Graph, sc *Scratch, res *Result) {
+	adv, horizon := g.Adv, g.Horizon
+	n := adv.N()
+	decs := sc.Reset(n)
+	if cap(sc.cr) < n {
+		sc.cr = make([]int, n)
+	}
+	sc.cr = sc.cr[:n]
+	for i := 0; i < n; i++ {
+		sc.cr[i] = adv.Pattern.CrashRound(i)
+	}
+	for m := 0; m <= horizon; m++ {
+		for i := 0; i < n; i++ {
+			if decs[i] != nil || sc.cr[i] <= m {
+				continue
+			}
+			if v, ok := p.Decide(g, i, m); ok {
+				sc.Put(i, Decision{Value: v, Time: m})
+			}
+		}
+	}
+	res.ProtocolName, res.Adv, res.Graph, res.Decisions = p.Name(), adv, g, decs
+}
+
 // DecisionTime returns the time at which i decided, or −1.
 func (r *Result) DecisionTime(i model.Proc) int {
 	if r.Decisions[i] == nil {
@@ -95,17 +163,24 @@ func (r *Result) DecisionTime(i model.Proc) int {
 	return r.Decisions[i].Time
 }
 
-// DecidedValues returns the set of values decided by the given processes
-// (e.g. the correct set for nonuniform agreement, everyone for uniform).
-func (r *Result) DecidedValues(procs *bitset.Set) *bitset.Set {
-	out := &bitset.Set{}
+// AppendDecidedValues adds the values decided by the given processes
+// into dst and returns dst. It is the allocation-free form of
+// DecidedValues for check paths that verify every run of a sweep with
+// one reused set.
+func (r *Result) AppendDecidedValues(dst *bitset.Set, procs *bitset.Set) *bitset.Set {
 	procs.ForEach(func(i int) bool {
 		if d := r.Decisions[i]; d != nil {
-			out.Add(d.Value)
+			dst.Add(d.Value)
 		}
 		return true
 	})
-	return out
+	return dst
+}
+
+// DecidedValues returns the set of values decided by the given processes
+// (e.g. the correct set for nonuniform agreement, everyone for uniform).
+func (r *Result) DecidedValues(procs *bitset.Set) *bitset.Set {
+	return r.AppendDecidedValues(&bitset.Set{}, procs)
 }
 
 // AllDecidedValues returns the set of values decided by any process.

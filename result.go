@@ -111,19 +111,44 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 
 // newResult assembles the backend-independent part of a Result from the
 // prepared request: the runtime name, the protocol instance, and the
-// rendered adversary string were all derived (and cached) by the Engine,
-// not re-derived per run.
+// memoized adversary-string renderer were all derived (and cached) by
+// the Engine, not re-derived per run.
 func newResult(req *RunRequest, backend BackendKind, decisions []*Decision) *Result {
 	r := &Result{
 		Protocol:  req.Name,
 		Ref:       req.Ref,
 		Backend:   backend.String(),
 		Params:    req.Params,
-		Adversary: req.AdvStr,
 		Decisions: decisions,
 		adv:       req.Adv,
 	}
-	r.MaxCorrectTime = r.simResult().MaxCorrectDecisionTime()
+	if req.AdvStr != nil {
+		r.Adversary = req.AdvStr()
+	}
+	sr := sim.Result{Adv: req.Adv, Decisions: decisions}
+	r.MaxCorrectTime = sr.MaxCorrectDecisionTime()
+	return r
+}
+
+// newResultInto is newResult into the buffer's pooled Result: identical
+// fields, no per-run heap objects. The Adversary display string is
+// deliberately never rendered on this path — aggregation reads counts,
+// and violation diagnostics render the adversary from Result.Adv()
+// directly. The returned pointer is &buf.res; it is overwritten by the
+// next RunInto on the same buffer.
+func newResultInto(buf *RunBuffer, req *RunRequest, backend BackendKind, decisions []*Decision) *Result {
+	r := &buf.res
+	*r = Result{
+		Protocol:  req.Name,
+		Ref:       req.Ref,
+		Backend:   backend.String(),
+		Params:    req.Params,
+		Decisions: decisions,
+		adv:       req.Adv,
+	}
+	buf.simres.ProtocolName, buf.simres.Adv, buf.simres.Graph, buf.simres.Decisions =
+		req.Name, req.Adv, nil, decisions
+	r.MaxCorrectTime = buf.simres.MaxCorrectDecisionTime()
 	return r
 }
 
@@ -141,13 +166,13 @@ func graphStats(g *knowledge.Graph) *GraphStats {
 	return gs
 }
 
-// bitStats derives the wire extras from the compact runner's accounting.
-func bitStats(res *wire.Result) *BitStats {
-	bs := &BitStats{MaxPair: res.MaxPairBits()}
+// bitStatsInto derives the wire extras from the compact runner's
+// accounting into dst, so the pooled run path reuses one BitStats.
+func bitStatsInto(dst *BitStats, res *wire.Result) {
+	*dst = BitStats{MaxPair: res.MaxPairBits()}
 	for _, row := range res.BitsSent {
 		for _, b := range row {
-			bs.Total += b
+			dst.Total += b
 		}
 	}
-	return bs
 }
