@@ -1,6 +1,8 @@
 package setconsensus
 
 import (
+	"context"
+
 	"setconsensus/internal/agg"
 	"setconsensus/internal/baseline"
 	"setconsensus/internal/check"
@@ -59,8 +61,19 @@ type (
 	SearchParams = unbeat.SearchParams
 	// SearchReport is the outcome of a protocol-space search.
 	SearchReport = unbeat.SearchReport
+	// Deviation is one early-decision override of a candidate rule.
+	Deviation = unbeat.Deviation
+	// Witness is a dominating deviation found by the search: typed view
+	// ids, values, and the strict-win adversary's fingerprint.
+	Witness = unbeat.Witness
+	// AnalysisReport is the structured outcome of Engine.Analyze.
+	AnalysisReport = unbeat.AnalysisReport
+	// AnalysisProgress is one streamed snapshot of Engine.AnalyzeStream.
+	AnalysisProgress = unbeat.Progress
 	// CannotDecideCert is the Lemma 3 unbeatability certificate.
 	CannotDecideCert = unbeat.CannotDecideCert
+	// ForcedCert is the Lemma 1 forced-decision certificate.
+	ForcedCert = unbeat.ForcedCert
 	// Subdivision is the paper's subdivided simplex Div σ (Appendix B.1).
 	Subdivision = topology.Subdivision
 	// ExperimentTable is one rendered paper-reproduction table.
@@ -127,13 +140,21 @@ func HiddenChains(n, c, m int, chainValues []int, defaultValue int) (*Adversary,
 
 // CannotDecide builds the Lemma 3 certificate that a high node with
 // hidden capacity ≥ k cannot decide in any protocol dominating Optmin[k].
-func CannotDecide(g *Graph, i, m, k int) (*CannotDecideCert, error) {
-	return unbeat.CannotDecide(g, i, m, k)
+// Cancelling ctx aborts the certificate's forcing recursions promptly.
+// Engine.Analyze with the "forced" family certifies whole runs on the
+// worker pool.
+func CannotDecide(ctx context.Context, g *Graph, i, m, k int) (*CannotDecideCert, error) {
+	return unbeat.CannotDecide(ctx, g, i, m, k)
 }
 
 // Search runs the bounded protocol-space search for a deviation that
-// dominates base (the computational content of Theorem 1).
-func Search(base Protocol, p SearchParams) (*SearchReport, error) { return unbeat.Search(base, p) }
+// dominates base (the computational content of Theorem 1), sequentially.
+// Engine.Analyze with the "search:optmin" / "search:upmin" families runs
+// the same staged pipeline on the engine's pooled run path and worker
+// pool.
+func Search(ctx context.Context, base Protocol, p SearchParams) (*SearchReport, error) {
+	return unbeat.Search(ctx, base, p)
+}
 
 // DivK builds the paper's subdivision Div σ for degree k (Appendix B.1).
 func DivK(k int) (*Subdivision, error) { return topology.DivK(k) }

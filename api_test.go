@@ -1,6 +1,8 @@
 package setconsensus_test
 
 import (
+	"context"
+
 	"testing"
 
 	setconsensus "setconsensus"
@@ -60,7 +62,7 @@ func TestFacadeFamiliesAndKnowledge(t *testing.T) {
 		t.Fatal(err)
 	}
 	gc := setconsensus.NewGraph(chains, 2)
-	cert, err := setconsensus.CannotDecide(gc, 0, 2, 3)
+	cert, err := setconsensus.CannotDecide(context.Background(), gc, 0, 2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

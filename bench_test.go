@@ -281,6 +281,34 @@ func BenchmarkSweepSource(b *testing.B) {
 	}
 }
 
+// Analysis pipeline: the staged deviation search (compile on the pooled
+// run path, candidate testing sharded over the worker pool) through
+// Engine.Analyze, on the seeded uniform n=4 space whose candidate
+// testing is heavy enough to exercise the reworked stage. The
+// pre-refactor sequential unbeat.Search on this space is retained as
+// internal/unbeat's BenchmarkSearchReference — the ≥3x acceptance
+// denominator; BenchmarkAnalyzeSequential isolates what the pipeline
+// buys before parallel speedup.
+func benchAnalyze(b *testing.B, parallelism int) {
+	b.Helper()
+	eng := setconsensus.New(setconsensus.WithParallelism(parallelism))
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eng.Analyze(ctx, "search:upmin:n=4,t=2,r=2,width=2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Search.Beaten {
+			b.Fatal("u-Pmin beaten — analysis broken")
+		}
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B)           { benchAnalyze(b, 4) }
+func BenchmarkAnalyzeSequential(b *testing.B) { benchAnalyze(b, 1) }
+
 func BenchmarkSweepCachedGraphs(b *testing.B) {
 	adv, tb := sweepAdversary(b)
 	// Cache on: after the first iteration the graph is a map hit.

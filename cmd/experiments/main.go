@@ -13,6 +13,11 @@
 //	# print the online-aggregated summary table.
 //	experiments -workload "collapse:k=3,r=2..8" -protocols upmin,floodmin -k 3
 //	experiments -workload "space:n=4,t=2,r=2,v=0..1" -protocols optmin -t 2
+//
+//	# Named unbeatability analyses on the Engine's pipeline, same table
+//	# format:
+//	experiments -analyze "search:upmin:n=3,t=2,r=2,width=2"
+//	experiments -analyze "lemma2" -k 3
 package main
 
 import (
@@ -27,12 +32,32 @@ import (
 func main() {
 	id := flag.String("id", "", "experiment id (E1..E10); empty runs all")
 	list := flag.Bool("list", false, "list experiments and exit")
+	analyze := flag.String("analyze", "", "run a named analysis family instead of E1..E10 (see setconsensus -list-analyses)")
 	workload := flag.String("workload", "", "sweep a named workload instead of running E1..E10 (see setconsensus -list-workloads)")
 	protocols := flag.String("protocols", "optmin,upmin", "comma-separated protocols for -workload sweeps")
 	backendName := flag.String("backend", "oracle", "execution backend for -workload sweeps")
 	k := flag.Int("k", 1, "coordination degree k for -workload sweeps")
 	t := flag.Int("t", -1, "crash bound t for -workload sweeps (default: each adversary's failure count)")
 	flag.Parse()
+
+	if *analyze != "" {
+		if *workload != "" {
+			fmt.Fprintln(os.Stderr, "-analyze and -workload are mutually exclusive")
+			os.Exit(1)
+		}
+		backend, err := setconsensus.ParseBackend(*backendName)
+		if err == nil {
+			var rep *setconsensus.AnalysisReport
+			if rep, err = cli.RunAnalysis(os.Stdout, *analyze, backend, *k); err == nil && !rep.OK() {
+				err = fmt.Errorf("analysis FAILED: %s", rep)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *workload != "" {
 		if err := sweep(*workload, *protocols, *backendName, *k, *t); err != nil {

@@ -25,6 +25,11 @@
 //	# The compact wire backend with bandwidth stats:
 //	setconsensus -protocol upmin -k 3 -workload "collapse:k=3" -backend wire
 //
+//	# Unbeatability analyses (deviation search, Lemma 1/2/3 certificates)
+//	# on the same engine; see -list-analyses for the families:
+//	setconsensus -analyze "search:optmin:n=3,t=2,r=3,width=2"
+//	setconsensus -analyze "forced" -k 3
+//
 // Crash syntax: "p@r:a,b" crashes process p in round r delivering only to
 // a and b; "p@r:" is a silent crash; "p@r:*" is a complete send. Multiple
 // crashes are separated by ';'. Workload syntax: "name" or
@@ -51,8 +56,10 @@ func main() {
 	inputsFlag := flag.String("inputs", "", "comma-separated initial values (single-run mode)")
 	crashFlag := flag.String("crash", "", "crash spec, e.g. \"1@1:2;3@2:*\" (single-run mode)")
 	workload := flag.String("workload", "", "named workload to sweep, e.g. \"collapse:k=3,r=2..6\" (see -list-workloads)")
+	analyze := flag.String("analyze", "", "named analysis to run, e.g. \"search:optmin:width=2\" or \"forced:k=3\" (see -list-analyses)")
 	list := flag.Bool("list", false, "list registered protocols and exit")
 	listWorkloads := flag.Bool("list-workloads", false, "list registered workloads and exit")
+	listAnalyses := flag.Bool("list-analyses", false, "list registered analysis families and exit")
 	flag.Parse()
 
 	if *list {
@@ -72,10 +79,32 @@ func main() {
 		}
 		return
 	}
+	if *listAnalyses {
+		cli.ListAnalyses(os.Stdout)
+		return
+	}
 
 	backend, err := setconsensus.ParseBackend(*backendName)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *analyze != "" {
+		if *workload != "" || *inputsFlag != "" || *crashFlag != "" {
+			fatal(fmt.Errorf("-analyze and -workload/-inputs/-crash are mutually exclusive"))
+		}
+		rep, err := cli.RunAnalysis(os.Stdout, *analyze, backend, *k)
+		if err != nil {
+			fatal(err)
+		}
+		// Same exit contract as the sweep modes: 1 = the paper's claim
+		// failed to verify (a beating deviation or an uncertified node),
+		// 2 = bad invocation.
+		if !rep.OK() {
+			fmt.Fprintf(os.Stderr, "analysis: FAILED: %s\n", rep)
+			os.Exit(1)
+		}
+		return
 	}
 	refs := cli.SplitList(*protoNames)
 	if len(refs) == 0 {

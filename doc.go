@@ -93,8 +93,9 @@
 //	WithDegree        1        coordination degree k (1 = consensus)
 //	WithHorizon       0        0 = each protocol's registered worst case (override: Oracle only)
 //	WithGraphCache    64       cached knowledge graphs; 0 disables
-//	WithParallelism   NumCPU   Sweep worker-pool size
+//	WithParallelism   NumCPU   Sweep/Analyze worker-pool size
 //	WithRegistry      default  protocol name resolution
+//	WithAnalyses      default  analysis family resolution
 //
 // The Registry ships with every protocol in the repository — "optmin",
 // "upmin", their k=1 specializations "opt0" and "uopt0", and the five
@@ -108,6 +109,48 @@
 // Lower-level constructors (NewOptmin, NewBaseline, Run, NewGraph, …)
 // remain exported for single-shot use and for the analysis tooling
 // (certificates, searches, topology).
+//
+// # Analyses
+//
+// The paper's unbeatability machinery rides the same facade. Analyses
+// are named, parameterized families in an AnalysisRegistry — resolved
+// exactly like workloads, with family names that may themselves contain
+// colons — and run through Engine.Analyze / Engine.AnalyzeStream:
+//
+//	rep, err := eng.Analyze(ctx, "search:optmin:n=3,t=2,r=3,width=2")
+//	rep, err = eng.AnalyzeStream(ctx, "forced:k=3", func(p setconsensus.AnalysisProgress) {
+//		log.Printf("%s %d/%d", p.Stage, p.Done, p.Total)
+//	})
+//	fmt.Println(setconsensus.AnalysisTable(rep).Render())
+//
+// The built-in families:
+//
+//	search:optmin  bounded deviation search vs Optmin[k]   n=3 t=2 k=<engine k> r=t+1 v=0..k width=2
+//	search:upmin   bounded deviation search vs u-Pmin[k]   same, uniform agreement
+//	lemma2         hidden-run construction + verification  c=<engine k> m=2 extra=2
+//	forced         Lemma 1/3 cannot-decide certificates    k=<engine k> m=2 extra=2
+//
+// An analysis is a staged pipeline owned by the Engine. The search
+// families compile every run of an exhaustive space through the pooled
+// Backend.RunInto path (knowledge graphs rebuilt in a recycled Builder
+// arena, view sequences interned by zero-copy binary fingerprints into
+// slab-carved compiled runs), then stride the deviation candidates
+// across the worker pool: each worker owns scratch and private counters
+// merged once, candidates simulate only the runs their views occur in,
+// and the first dominating candidate in canonical order short-circuits
+// the remaining work. The certificate families shard graph nodes across
+// the same pool. Reports are deterministic in the configuration alone —
+// Engine.Analyze with Parallelism 1 and Parallelism N return identical
+// AnalysisReports, pinned by tests under -race.
+//
+// The AnalysisReport schema is typed end to end: search outcomes carry a
+// SearchReport whose Witness (if any) is the deviation list plus the
+// strict-win adversary's canonical fingerprint — data, not prose; every
+// report type renders through String. A beaten search's counters cover
+// the canonical enumeration prefix through the minimal dominating
+// candidate. cmd/setconsensus -analyze and cmd/experiments -analyze
+// drive the same families from the command line (exit 1 when a claim
+// fails to verify), and -list-analyses lists the registry.
 //
 // # Performance
 //
@@ -158,11 +201,24 @@
 // (ref, params) — decision rules are pure functions of the view, so one
 // instance serves all workers.
 //
+// The analysis pipeline reuses all of it: search compilation runs on
+// RunInto with Builder-revived graphs and interns views through
+// Graph.AppendFingerprint (the zero-copy form of Fingerprint — map
+// lookup via string(bytes), key materialized only on a miss), compiled
+// runs are carved from slabs, and candidate testing is allocation-free
+// per candidate (per-worker testScratch; pinned by
+// internal/unbeat/scratch_test.go). The pre-pipeline search is retained
+// verbatim as internal/unbeat/reference.go, enforced report-for-report
+// by equivalence tests and measured by the
+// BenchmarkAnalyze/BenchmarkSearchReference ablation pair.
+//
 // BENCH_baseline.json records the measured trajectory per PR
 // (pr4_post is the sharded/pooled sweep: BenchmarkSweepSource 3.4ms →
-// 1.0ms and 29.3k → 1.6k allocs/op vs pr3_post); CI uploads
-// benchstat-comparable output per run and gates >20% ns/op regressions
-// on the sweep hot path via cmd/benchguard. To profile locally:
+// 1.0ms and 29.3k → 1.6k allocs/op vs pr3_post; pr5_post is the
+// analysis pipeline: the seeded deviation search 112.2ms/1.21M allocs →
+// 29.2ms/22.3k through Engine.Analyze); CI uploads benchstat-comparable
+// output per run and gates >20% ns/op regressions on the sweep and
+// analysis hot paths via cmd/benchguard. To profile locally:
 //
 //	go test -run xxx -bench BenchmarkSweepSource -cpuprofile cpu.out .
 //	go tool pprof -top cpu.out

@@ -43,10 +43,11 @@ import (
 //     when its shard is drained (Summary.Merge is the public form of
 //     the same contract). Nothing a worker retains outlives the merge.
 type Engine struct {
-	params  EngineParams
-	reg     *Registry
-	backend Backend
-	err     error // construction error, surfaced by every call
+	params   EngineParams
+	reg      *Registry
+	analyses *AnalysisRegistry
+	backend  Backend
+	err      error // construction error, surfaced by every call
 
 	// kits recycles the per-worker aggregation state (RunBuffer,
 	// knowledge Builder) across SweepSource calls, so repeated sweeps on
@@ -122,19 +123,24 @@ type graphKey struct {
 // configurations are not lost: every Run/Sweep on a misconfigured engine
 // returns the validation error.
 func New(opts ...Option) *Engine {
-	cfg := engineConfig{params: DefaultEngineParams(), reg: DefaultRegistry()}
+	cfg := engineConfig{params: DefaultEngineParams(), reg: DefaultRegistry(), analyses: DefaultAnalyses()}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	e := &Engine{
-		params: cfg.params,
-		reg:    cfg.reg,
-		graphs: make(map[graphKey]*knowledge.Graph),
-		fps:    make(map[*model.Adversary]string),
-		protos: make(map[protoKey]protoEntry),
+		params:   cfg.params,
+		reg:      cfg.reg,
+		analyses: cfg.analyses,
+		graphs:   make(map[graphKey]*knowledge.Graph),
+		fps:      make(map[*model.Adversary]string),
+		protos:   make(map[protoKey]protoEntry),
 	}
 	if cfg.reg == nil {
 		e.err = fmt.Errorf("engine: nil registry")
+		return e
+	}
+	if cfg.analyses == nil {
+		e.err = fmt.Errorf("engine: nil analysis registry")
 		return e
 	}
 	if err := cfg.params.Validate(); err != nil {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -55,7 +56,7 @@ func main() {
 		MustBuild()
 	g := setconsensus.NewGraph(adv, 1)
 	fmt.Printf("observer ⟨0,1⟩: Min=%d HC=%d — high with HC ≥ k=2\n", g.Min(0, 1), g.HiddenCapacity(0, 1))
-	cert, err := setconsensus.CannotDecide(g, 0, 1, 2)
+	cert, err := setconsensus.CannotDecide(context.Background(), g, 0, 1, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

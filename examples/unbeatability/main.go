@@ -1,10 +1,14 @@
-// Unbeatability: the computational content of Theorem 1. For the Fig. 2
-// scenario, every node at which Optmin[k] is undecided carries a
-// machine-checked Lemma 3 certificate, and a bounded protocol-space
-// search over an exhaustive adversary space fails to beat Optmin.
+// Unbeatability: the computational content of Theorem 1 on the Engine's
+// analysis pipeline. The "forced" family certifies every Optmin-undecided
+// node of the Fig. 2 hidden-chains run with a machine-checked Lemma 3
+// certificate, and the "search:optmin" family compiles an exhaustive
+// adversary space through the pooled run path and tests every bounded
+// early-deviation rule across the worker pool — streaming stage progress
+// like a sweep.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,48 +16,41 @@ import (
 )
 
 func main() {
-	// Part 1: certificates on the Fig. 2 hidden-chains run (k = 3).
-	adv, err := setconsensus.HiddenChains(14, 3, 2, []int{3, 3, 3}, 3)
-	if err != nil {
-		log.Fatal(err)
-	}
-	g := setconsensus.NewGraph(adv, 2)
-	fmt.Println("Fig. 2 run (k=3): certifying every Optmin-undecided node")
-	certified := 0
-	for i := 0; i < adv.N(); i++ {
-		for m := 0; m <= 2; m++ {
-			if !adv.Pattern.Active(i, m) {
-				continue
-			}
-			if g.Min(i, m) < 3 || g.HiddenCapacity(i, m) < 3 {
-				continue // Optmin decides here
-			}
-			if _, err := setconsensus.CannotDecide(g, i, m, 3); err != nil {
-				log.Fatalf("⟨%d,%d⟩ uncertified: %v", i, m, err)
-			}
-			certified++
-		}
-	}
-	fmt.Printf("  %d undecided nodes, all certified: no dominating protocol decides at any of them\n\n", certified)
+	ctx := context.Background()
+	eng := setconsensus.New(setconsensus.WithDegree(3))
 
-	// Part 2: exhaustive deviation search for binary consensus, n=3. The
-	// base protocol comes out of the registry by name.
-	base, err := setconsensus.NewProtocol("optmin", setconsensus.Params{N: 3, T: 2, K: 1})
+	// Part 1: certificates on the Fig. 2 hidden-chains run (k = 3).
+	rep, err := eng.Analyze(ctx, "forced")
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := setconsensus.Search(base, setconsensus.SearchParams{
-		Space: setconsensus.Space{N: 3, T: 2, MaxRound: 3, Values: []int{0, 1}},
-		K:     1, T: 2, Width: 2,
-	})
+	fmt.Printf("Fig. 2 run (k=3): %d Optmin-undecided nodes, %d certified, %d change orderings validated\n",
+		rep.Nodes, rep.Certified, rep.Orders)
+	fmt.Println("  no dominating protocol decides at any of them ✓")
+	fmt.Println()
+
+	// Part 2: exhaustive deviation search for binary consensus, n=3,
+	// driven by family name with streamed stage progress.
+	eng = setconsensus.New() // k defaults to 1
+	lastStage := ""
+	rep, err = eng.AnalyzeStream(ctx, "search:optmin:n=3,t=2,r=3,width=2",
+		func(p setconsensus.AnalysisProgress) {
+			if p.Stage != lastStage {
+				lastStage = p.Stage
+				fmt.Printf("  stage %s...\n", p.Stage)
+			}
+		})
 	if err != nil {
 		log.Fatal(err)
 	}
+	s := rep.Search
 	fmt.Printf("deviation search over %d runs: %d deviation points, %d candidate rules tested\n",
-		rep.Runs, rep.Views, rep.Candidates)
-	if rep.Beaten {
-		fmt.Printf("  BEATEN: %s\n", rep.Witness)
+		s.Runs, s.Views, s.Candidates)
+	if s.Beaten {
+		fmt.Printf("  BEATEN: %s\n", s.Witness)
 	} else {
 		fmt.Println("  no candidate solves consensus while beating Opt0 — unbeatable on this model ✓")
 	}
+	fmt.Println()
+	fmt.Println(setconsensus.AnalysisTable(rep).Render())
 }

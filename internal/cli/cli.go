@@ -51,3 +51,41 @@ func SweepWorkload(w io.Writer, workloadRef string, refs []string, backend setco
 	fmt.Fprintln(w, setconsensus.SummaryTable(sum).Render())
 	return sum, nil
 }
+
+// RunAnalysis resolves an analysis reference ("search:optmin:width=2",
+// "forced:k=3", ...), runs it through Engine.AnalyzeStream on the given
+// backend (the search families require Oracle and error otherwise — the
+// engine enforces it, so a -backend wire typo fails loudly instead of
+// silently running on Oracle), prints per-stage progress lines followed
+// by the report table to w, and returns the report for the caller's
+// exit-code policy (a beaten search is a claim violation). k ≥ 1 sets
+// the engine degree the families default to.
+func RunAnalysis(w io.Writer, ref string, backend setconsensus.BackendKind, k int) (*setconsensus.AnalysisReport, error) {
+	opts := []setconsensus.Option{setconsensus.WithBackend(backend)}
+	if k >= 1 {
+		opts = append(opts, setconsensus.WithDegree(k))
+	}
+	eng := setconsensus.New(opts...)
+	lastStage := ""
+	rep, err := eng.AnalyzeStream(context.Background(), ref, func(p setconsensus.AnalysisProgress) {
+		if p.Stage == lastStage {
+			return
+		}
+		lastStage = p.Stage
+		fmt.Fprintf(w, "stage %s...\n", p.Stage)
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, setconsensus.AnalysisTable(rep).Render())
+	return rep, nil
+}
+
+// ListAnalyses prints the registered analysis families with their
+// parameter vocabulary, mirroring the protocol and workload listings.
+func ListAnalyses(w io.Writer) {
+	for _, spec := range setconsensus.DefaultAnalyses().Specs() {
+		fmt.Fprintf(w, "%-14s %s\n", spec.Name, spec.Summary)
+		fmt.Fprintf(w, "%-14s   params: %s\n", "", spec.Params)
+	}
+}

@@ -35,6 +35,12 @@ func (s Space) Validate() error {
 	return nil
 }
 
+// Label renders the space's canonical display name, shared by workload
+// sources and analysis reports.
+func (s Space) Label() string {
+	return fmt.Sprintf("space:n=%d,t=%d,r=%d,|v|=%d", s.N, s.T, s.MaxRound, len(s.Values))
+}
+
 // CountUpperBound returns a loose upper bound on the number of adversaries
 // the space can yield before canonical deduplication (input vectors ×
 // failure patterns). It guards tests against accidentally huge spaces.

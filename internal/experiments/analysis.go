@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+
+	"setconsensus/internal/unbeat"
+)
+
+// AnalysisTable renders a structured AnalysisReport as a Table — the
+// presentation bridge that lets cmd/setconsensus -analyze and
+// cmd/experiments -analyze share the E1–E10 table format, exactly as
+// SweepTable does for streamed sweep summaries. Deviation-search reports
+// and certificate reports carry different statistics, so the column set
+// follows the populated section.
+func AnalysisTable(r *unbeat.AnalysisReport) *Table {
+	t := &Table{
+		ID:    "ANALYZE",
+		Title: fmt.Sprintf("analysis %s over %s", r.Family, r.Workload),
+	}
+	params := fmt.Sprintf("n=%d t=%d k=%d", r.N, r.T, r.K)
+	if s := r.Search; s != nil {
+		t.Columns = []string{"family", "model", "runs", "deviation points", "candidates", "pairs pruned", "pairs tested", "verdict"}
+		verdict := "unbeaten"
+		if s.Beaten {
+			verdict = "BEATEN: " + s.Witness.String()
+		}
+		t.AddRow(r.Family, params, s.Runs, s.Views, s.Candidates, s.PairsPruned, s.PairsTested, verdict)
+		t.Notes = append(t.Notes,
+			"candidates = deviation rules tested; when beaten, counters cover the canonical prefix through the witness")
+		return t
+	}
+	t.Columns = []string{"family", "model", "nodes", "certified", "orders", "verdict"}
+	verdict := "all certified"
+	if !r.OK() {
+		verdict = "INCOMPLETE"
+	}
+	t.AddRow(r.Family, params, r.Nodes, r.Certified, r.Orders, verdict)
+	if r.Family == "forced" {
+		t.Notes = append(t.Notes, "orders = change-run orderings validated across all forcing recursions")
+	}
+	return t
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -76,7 +77,7 @@ func E2HiddenCapacity() (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E2: construction (c=%d m=%d): %w", cfg.c, cfg.m, err)
 		}
-		_, err = h.Verify(g)
+		_, err = h.Verify(context.Background(), g)
 		t.AddRow(cfg.c, cfg.m, hc, err == nil, err == nil)
 		if err != nil {
 			return nil, fmt.Errorf("E2: verification (c=%d m=%d): %w", cfg.c, cfg.m, err)
@@ -128,7 +129,7 @@ func E3ForcedDecisions() (*Table, error) {
 					continue
 				}
 				undecided++
-				if _, err := unbeat.CannotDecide(g, i, m, f.k); err == nil {
+				if _, err := unbeat.CannotDecide(context.Background(), g, i, m, f.k); err == nil {
 					certified++
 				}
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -66,13 +67,13 @@ func E7Unbeatability() (*Table, error) {
 			unbeat.SearchParams{Space: enum.Space{N: 3, T: 2, MaxRound: 2, Values: []model.Value{0, 1}}, K: 1, T: 2, Uniform: true, Width: 2}},
 	}
 	for _, s := range searches {
-		rep, err := unbeat.Search(s.base, s.p)
+		rep, err := unbeat.Search(context.Background(), s.base, s.p)
 		if err != nil {
 			return nil, err
 		}
 		verdict := "unbeaten"
 		if rep.Beaten {
-			verdict = "BEATEN: " + rep.Witness
+			verdict = "BEATEN: " + rep.Witness.String()
 			return nil, fmt.Errorf("E7: %s %s", s.name, verdict)
 		}
 		t.AddRow(s.name, fmt.Sprintf("n=%d t=%d k=%d", s.p.Space.N, s.p.T, s.p.K), rep.Runs, verdict, rep.Candidates)

@@ -341,11 +341,25 @@ var fpBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b
 // whose construction dominated view-interning workloads. The bytes are
 // an opaque key: compare and hash them, do not parse them.
 func (g *Graph) Fingerprint(i model.Proc, m int) string {
+	bp := fpBufPool.Get().(*[]byte)
+	b := g.AppendFingerprint((*bp)[:0], i, m)
+	s := string(b)
+	*bp = b
+	fpBufPool.Put(bp)
+	return s
+}
+
+// AppendFingerprint appends the Fingerprint encoding of ⟨i,m⟩ to b and
+// returns the extended slice — the allocation-free form for interning
+// loops, which look the bytes up in a map[string]T via the compiler's
+// zero-copy string(b) conversion and materialize a key only on a miss.
+// The view-interning compile stage of the unbeatability search calls
+// this once per (run, node); with Fingerprint it paid a string
+// allocation per call whether or not the view was already interned.
+func (g *Graph) AppendFingerprint(b []byte, i model.Proc, m int) []byte {
 	v := g.View(i, m)
 	g.sendersOnce.Do(g.buildSenders)
 
-	bp := fpBufPool.Get().(*[]byte)
-	b := (*bp)[:0]
 	var tmp [binary.MaxVarintLen64]byte
 	putU := func(x uint64) {
 		b = append(b, tmp[:binary.PutUvarint(tmp[:], x)]...)
@@ -372,8 +386,5 @@ func (g *Graph) Fingerprint(i model.Proc, m int) string {
 			return true
 		})
 	}
-	s := string(b)
-	*bp = b
-	fpBufPool.Put(bp)
-	return s
+	return b
 }

@@ -1,0 +1,85 @@
+package unbeat
+
+import (
+	"context"
+	"testing"
+
+	"setconsensus/internal/core"
+	"setconsensus/internal/enum"
+	"setconsensus/internal/knowledge"
+	"setconsensus/internal/model"
+	"setconsensus/internal/sim"
+)
+
+// The ablation pair behind the analysis pipeline: the staged
+// compile/shard/test search versus the retained pre-pipeline reference
+// (reference.go — map per candidate, bitset per (candidate, run),
+// allocating run path). The uniform n=4 probe is the seeded space whose
+// candidate testing is heavy enough to exercise the stage the pipeline
+// reworked; BenchmarkAnalyze in the root package measures the same
+// space through Engine.Analyze.
+
+func benchSearchConfig() (sim.Protocol, SearchParams) {
+	return core.MustUPmin(core.Params{N: 4, T: 2, K: 1}), SearchParams{
+		Space: enum.Space{N: 4, T: 2, MaxRound: 2, Values: []model.Value{0, 1}},
+		K:     1, T: 2, Uniform: true, Width: 2,
+	}
+}
+
+func BenchmarkSearchPipeline(b *testing.B) {
+	base, p := benchSearchConfig()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Search(ctx, base, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Beaten {
+			b.Fatal("u-Pmin beaten — search broken")
+		}
+	}
+}
+
+func BenchmarkSearchReference(b *testing.B) {
+	base, p := benchSearchConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := referenceSearch(base, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Beaten {
+			b.Fatal("u-Pmin beaten — search broken")
+		}
+	}
+}
+
+// BenchmarkCompile isolates the compile stage: pooled Builder revive +
+// scratch simulation + zero-copy view interning over the whole space.
+func BenchmarkCompile(b *testing.B) {
+	base, p := benchSearchConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := NewCompiler(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		builder := knowledge.NewBuilder()
+		var sc sim.Scratch
+		var res sim.Result
+		err = p.Space.ForEach(func(adv *model.Adversary) bool {
+			g := builder.Build(adv, c.Horizon())
+			sim.RunWithGraphInto(base, g, &sc, &res)
+			c.Add(adv, g, res.Decisions)
+			g.Release()
+			return true
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

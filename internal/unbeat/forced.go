@@ -1,7 +1,9 @@
 package unbeat
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"setconsensus/internal/bitset"
 	"setconsensus/internal/knowledge"
@@ -47,6 +49,44 @@ type ForcedCert struct {
 	Orders int
 }
 
+// String renders the certificate's conclusion in the report convention
+// (typed fields carry the data; String is the display form).
+func (c *ForcedCert) String() string {
+	if c == nil {
+		return "<no certificate>"
+	}
+	s := fmt.Sprintf("forced: ⟨%d,%d⟩ decides %d (k=%d", c.Node, c.Time, c.Value, c.K)
+	if c.Orders > 0 {
+		s += fmt.Sprintf(", %d change orderings", c.Orders)
+	}
+	if len(c.Senders) > 0 {
+		vals := make([]int, 0, len(c.Senders))
+		for v := range c.Senders {
+			vals = append(vals, v)
+		}
+		sort.Ints(vals)
+		s += ", senders"
+		for _, v := range vals {
+			s += fmt.Sprintf(" %d←%d", v, c.Senders[v])
+		}
+	}
+	return s + ")"
+}
+
+// TotalOrders sums the change-run orderings validated by this
+// certificate and its whole induction tree — the work metric the
+// "forced" analysis family aggregates.
+func (c *ForcedCert) TotalOrders() int {
+	if c == nil {
+		return 0
+	}
+	total := c.Orders
+	for _, sub := range c.Sub {
+		total += sub.TotalOrders()
+	}
+	return total
+}
+
 // conditions verifies the four hypotheses of Lemma 1 for ⟨w,m⟩ in g and
 // returns the unique low value and the k condition-4 processes.
 func conditions(g *knowledge.Graph, w model.Proc, m, k int) (model.Value, []model.Proc, error) {
@@ -89,8 +129,13 @@ func lowsOf(g *knowledge.Graph, i model.Proc, m, k int) *bitset.Set {
 }
 
 // ForcedLow builds the Lemma 1 certificate for ⟨w,m⟩ in the run of g: the
-// full induction of the paper, materialized.
-func ForcedLow(g *knowledge.Graph, w model.Proc, m, k int) (*ForcedCert, error) {
+// full induction of the paper, materialized. The context is checked at
+// every induction step and change-run ordering, so cancelling it aborts
+// a deep certificate promptly.
+func ForcedLow(ctx context.Context, g *knowledge.Graph, w model.Proc, m, k int) (*ForcedCert, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	v, js, err := conditions(g, w, m, k)
 	if err != nil {
 		return nil, err
@@ -118,7 +163,7 @@ func ForcedLow(g *knowledge.Graph, w model.Proc, m, k int) (*ForcedCert, error) 
 		if err != nil {
 			return nil, fmt.Errorf("unbeat: step Lemma-2 run at ⟨%d,%d⟩: %w", w, m, err)
 		}
-		gp, err = h.Verify(g)
+		gp, err = h.Verify(ctx, g)
 		if err != nil {
 			return nil, fmt.Errorf("unbeat: step Lemma-2 verification: %w", err)
 		}
@@ -147,7 +192,7 @@ func ForcedLow(g *knowledge.Graph, w model.Proc, m, k int) (*ForcedCert, error) 
 	// m−1 in r′.
 	cert.Sub = make(map[model.Value]*ForcedCert, k)
 	for lw, s := range senders {
-		sub, err := ForcedLow(gp, s, m-1, k)
+		sub, err := ForcedLow(ctx, gp, s, m-1, k)
 		if err != nil {
 			return nil, fmt.Errorf("unbeat: recursion on sender %d of value %d at time %d: %w", s, lw, m-1, err)
 		}
@@ -164,7 +209,7 @@ func ForcedLow(g *knowledge.Graph, w model.Proc, m, k int) (*ForcedCert, error) 
 	// the already-taken values.
 	base := gp.Adv
 	wFp := gp.Fingerprint(w, m)
-	orders, err := exploreChanges(base, gp, w, m, k, js, senders, wFp)
+	orders, err := exploreChanges(ctx, base, gp, w, m, k, js, senders, wFp)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +235,9 @@ func findValueSender(g *knowledge.Graph, w model.Proc, m int, v model.Value, k i
 // exploreChanges walks every order in which values can be taken by
 // j_k, …, j_1, materializing each change run and checking the proof's
 // invariants. It returns the number of complete orderings validated.
-func exploreChanges(base *model.Adversary, gBase *knowledge.Graph, w model.Proc, m, k int,
+// The walk is the k!-sized inner loop of a forced certificate, so the
+// context is polled at every frame.
+func exploreChanges(ctx context.Context, base *model.Adversary, gBase *knowledge.Graph, w model.Proc, m, k int,
 	js []model.Proc, senders map[model.Value]model.Proc, wFp string) (int, error) {
 
 	type frame struct {
@@ -200,6 +247,9 @@ func exploreChanges(base *model.Adversary, gBase *knowledge.Graph, w model.Proc,
 	}
 	var walk func(fr frame, b int) (int, error)
 	walk = func(fr frame, b int) (int, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		if b == 0 {
 			return 1, nil
 		}
@@ -379,8 +429,35 @@ type CannotDecideCert struct {
 	Forced []*ForcedCert
 }
 
+// String renders the certificate's conclusion.
+func (c *CannotDecideCert) String() string {
+	if c == nil {
+		return "<no certificate>"
+	}
+	return fmt.Sprintf("cannot-decide: ⟨%d,%d⟩ undecidable in any protocol dominating Optmin[%d] (%d forced witnesses, %d change orderings)",
+		c.Node, c.Time, c.K, len(c.Forced), c.TotalOrders())
+}
+
+// TotalOrders sums the change-run orderings validated across the
+// certificate's forced witnesses.
+func (c *CannotDecideCert) TotalOrders() int {
+	if c == nil {
+		return 0
+	}
+	total := 0
+	for _, f := range c.Forced {
+		total += f.TotalOrders()
+	}
+	return total
+}
+
 // CannotDecide builds the Lemma 3 certificate for ⟨i,m⟩ in the run of g.
-func CannotDecide(g *knowledge.Graph, i model.Proc, m, k int) (*CannotDecideCert, error) {
+// Cancelling the context aborts the certificate's forcing recursions
+// promptly.
+func CannotDecide(ctx context.Context, g *knowledge.Graph, i model.Proc, m, k int) (*CannotDecideCert, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if lows := lowsOf(g, i, m, k); lows.Count() != 0 {
 		return nil, fmt.Errorf("unbeat: ⟨%d,%d⟩ is low; Lemma 3 concerns high nodes", i, m)
 	}
@@ -395,14 +472,14 @@ func CannotDecide(g *knowledge.Graph, i model.Proc, m, k int) (*CannotDecideCert
 	if err != nil {
 		return nil, err
 	}
-	gp, err := h.Verify(g)
+	gp, err := h.Verify(ctx, g)
 	if err != nil {
 		return nil, err
 	}
 	cert := &CannotDecideCert{Node: i, Time: m, K: k, Hidden: h}
 	for b := 0; b < k; b++ {
 		wb := h.Witnesses[m][b]
-		sub, err := ForcedLow(gp, wb, m, k)
+		sub, err := ForcedLow(ctx, gp, wb, m, k)
 		if err != nil {
 			return nil, fmt.Errorf("unbeat: forcing witness %d (value %d): %w", wb, b, err)
 		}

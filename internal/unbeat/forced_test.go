@@ -1,6 +1,8 @@
 package unbeat
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -13,7 +15,7 @@ func TestForcedLowBaseCase(t *testing.T) {
 	// high. Lemma 1 base: validity forces 0 at time 0.
 	adv := model.NewBuilder(4, 2).Input(1, 0).MustBuild()
 	g := knowledge.New(adv, 1)
-	cert, err := ForcedLow(g, 1, 0, 2)
+	cert, err := ForcedLow(context.Background(), g, 1, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,11 +31,11 @@ func TestForcedLowConditionsRejected(t *testing.T) {
 	// A process with two low values fails condition 2.
 	adv := model.NewBuilder(4, 2).Input(1, 0).Input(2, 1).MustBuild()
 	g := knowledge.New(adv, 1)
-	if _, err := ForcedLow(g, 1, 1, 2); err == nil {
+	if _, err := ForcedLow(context.Background(), g, 1, 1, 2); err == nil {
 		t.Error("two low values must be rejected")
 	}
 	// A high process fails condition 1/2.
-	if _, err := ForcedLow(g, 3, 0, 2); err == nil {
+	if _, err := ForcedLow(context.Background(), g, 3, 0, 2); err == nil {
 		t.Error("high process must be rejected")
 	}
 }
@@ -54,7 +56,7 @@ func TestForcedLowStepFig3Style(t *testing.T) {
 		CrashSendingTo(3, 1, 4).
 		MustBuild()
 	g := knowledge.New(adv, 2)
-	cert, err := ForcedLow(g, 2, 1, 2)
+	cert, err := ForcedLow(context.Background(), g, 2, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +86,7 @@ func TestForcedLowK1HiddenPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := knowledge.New(adv, 3)
-	cert, err := ForcedLow(g, 3, 2, 1)
+	cert, err := ForcedLow(context.Background(), g, 3, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +115,7 @@ func TestCannotDecideFig2(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := knowledge.New(adv, 2)
-	cert, err := CannotDecide(g, 0, 2, 3)
+	cert, err := CannotDecide(context.Background(), g, 0, 2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +136,7 @@ func TestCannotDecideSimple(t *testing.T) {
 	if hc := g.HiddenCapacity(0, 1); hc != 2 {
 		t.Fatalf("HC⟨0,1⟩ = %d, want 2", hc)
 	}
-	cert, err := CannotDecide(g, 0, 1, 2)
+	cert, err := CannotDecide(context.Background(), g, 0, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,17 +145,44 @@ func TestCannotDecideSimple(t *testing.T) {
 	}
 }
 
+func TestCertificatesCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	adv, err := model.HiddenChains(10, 2, 2, []model.Value{2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := knowledge.New(adv, 2)
+	if _, err := CannotDecide(ctx, g, 0, 2, 2); err != context.Canceled {
+		t.Errorf("CannotDecide on cancelled ctx: %v, want context.Canceled", err)
+	}
+	h, err := HiddenRun(g, 0, 2, []model.Value{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Verify(ctx, g); err != context.Canceled {
+		t.Errorf("Verify on cancelled ctx: %v, want context.Canceled", err)
+	}
+	gp, err := h.Verify(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ForcedLow(ctx, gp, h.Witnesses[2][0], 2, 2); err != context.Canceled {
+		t.Errorf("ForcedLow on cancelled ctx: %v, want context.Canceled", err)
+	}
+}
+
 func TestCannotDecideRejectsLowOrLowHC(t *testing.T) {
 	adv := model.NewBuilder(5, 0).MustBuild() // all inputs 0 (low for k≥1)
 	g := knowledge.New(adv, 1)
-	_, err := CannotDecide(g, 0, 0, 1)
+	_, err := CannotDecide(context.Background(), g, 0, 0, 1)
 	if err == nil || !strings.Contains(err.Error(), "low") {
 		t.Errorf("low node must be rejected: %v", err)
 	}
 	high := model.NewBuilder(5, 1).MustBuild()
 	gh := knowledge.New(high, 1)
 	// Failure-free at time 1: HC = 0 < k.
-	if _, err := CannotDecide(gh, 0, 1, 1); err == nil {
+	if _, err := CannotDecide(context.Background(), gh, 0, 1, 1); err == nil {
 		t.Error("HC < k must be rejected")
 	}
 }
@@ -200,7 +229,7 @@ func TestOptminUndecidedNodesAllCertified(t *testing.T) {
 					if low || hc < c.k {
 						continue // Optmin decides here; nothing to certify
 					}
-					if _, err := CannotDecide(g, i, m, c.k); err != nil {
+					if _, err := CannotDecide(context.Background(), g, i, m, c.k); err != nil {
 						t.Errorf("⟨%d,%d⟩ undecided by Optmin but uncertified: %v", i, m, err)
 					} else {
 						certified++

@@ -13,6 +13,7 @@
 package unbeat
 
 import (
+	"context"
 	"fmt"
 
 	"setconsensus/internal/bitset"
@@ -30,6 +31,15 @@ type HiddenRunResult struct {
 	Time      int              // m
 	Values    []model.Value    // v_1..v_c (chain b carries Values[b])
 	Witnesses [][]model.Proc   // [layer][chain]
+}
+
+// String renders the construction's conclusion in the report convention.
+func (h *HiddenRunResult) String() string {
+	if h == nil {
+		return "<no construction>"
+	}
+	return fmt.Sprintf("lemma2: r′ indistinguishable at ⟨%d,%d⟩ carrying %d hidden chains %v",
+		h.Node, h.Time, len(h.Values), h.Values)
 }
 
 // HiddenRun performs the constructive step of Lemma 2: given the knowledge
@@ -155,8 +165,9 @@ func HiddenRun(g *knowledge.Graph, i model.Proc, m int, values []model.Value) (*
 //	      chains' witnesses are hidden from it.
 //
 // It returns the knowledge graph of r′ so callers can continue reasoning
-// in the constructed run.
-func (h *HiddenRunResult) Verify(gBase *knowledge.Graph) (*knowledge.Graph, error) {
+// in the constructed run. The per-layer condition loop polls the
+// context, so cancelling aborts a deep verification promptly.
+func (h *HiddenRunResult) Verify(ctx context.Context, gBase *knowledge.Graph) (*knowledge.Graph, error) {
 	m, i, c := h.Time, h.Node, len(h.Values)
 	gNew := knowledge.New(h.Run, max(m, gBase.Horizon))
 
@@ -164,6 +175,9 @@ func (h *HiddenRunResult) Verify(gBase *knowledge.Graph) (*knowledge.Graph, erro
 		return nil, fmt.Errorf("unbeat: r′ distinguishable at ⟨%d,%d⟩:\n r′: %s\n r:  %s", i, m, got, want)
 	}
 	for l := 0; l <= m; l++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for b := 0; b < c; b++ {
 			w := h.Witnesses[l][b]
 			vals := gNew.Vals(w, l)

@@ -1,6 +1,8 @@
 package unbeat
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -25,7 +27,7 @@ func TestHiddenRunFig2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gNew, err := h.Verify(g)
+	gNew, err := h.Verify(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +52,7 @@ func TestHiddenRunAtTimeZero(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h.Verify(g); err != nil {
+	if _, err := h.Verify(context.Background(), g); err != nil {
 		t.Fatal(err)
 	}
 	// The three other processes carry 0, 1, 2 in r′.
@@ -105,7 +107,7 @@ func TestHiddenRunExhaustiveSmall(t *testing.T) {
 					if err != nil {
 						t.Fatalf("construction failed at ⟨%d,%d⟩ HC=%d c=%d on %s: %v", i, m, hc, c, adv, err)
 					}
-					if _, err := h.Verify(g); err != nil {
+					if _, err := h.Verify(context.Background(), g); err != nil {
 						t.Fatalf("verification failed at ⟨%d,%d⟩ c=%d on %s: %v", i, m, c, adv, err)
 					}
 					built++
@@ -149,7 +151,7 @@ func TestHiddenRunRandom(t *testing.T) {
 				if err != nil {
 					t.Fatalf("construction failed at ⟨%d,%d⟩ on %s: %v", i, m, adv, err)
 				}
-				if _, err := h.Verify(g); err != nil {
+				if _, err := h.Verify(context.Background(), g); err != nil {
 					t.Fatalf("verification failed at ⟨%d,%d⟩ on %s: %v", i, m, adv, err)
 				}
 				built++

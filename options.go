@@ -124,8 +124,9 @@ func (p EngineParams) Validate() error {
 type Option func(*engineConfig)
 
 type engineConfig struct {
-	params EngineParams
-	reg    *Registry
+	params   EngineParams
+	reg      *Registry
+	analyses *AnalysisRegistry
 }
 
 // WithBackend selects the execution backend (Oracle, Goroutines, Wire).
@@ -172,4 +173,10 @@ func WithParallelism(workers int) Option {
 // default registry.
 func WithRegistry(reg *Registry) Option {
 	return func(c *engineConfig) { c.reg = reg }
+}
+
+// WithAnalyses resolves Engine.Analyze references against reg instead of
+// the default analysis registry.
+func WithAnalyses(reg *AnalysisRegistry) Option {
+	return func(c *engineConfig) { c.analyses = reg }
 }

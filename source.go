@@ -70,9 +70,7 @@ func SpaceSource(s Space) (Source, error) {
 	return &spaceSource{space: s}, nil
 }
 
-func (s *spaceSource) Label() string {
-	return fmt.Sprintf("space:n=%d,t=%d,r=%d,|v|=%d", s.space.N, s.space.T, s.space.MaxRound, len(s.space.Values))
-}
+func (s *spaceSource) Label() string      { return s.space.Label() }
 func (s *spaceSource) Count() (int, bool) { return 0, false }
 func (s *spaceSource) Seq() iter.Seq[*Adversary] {
 	return func(yield func(*Adversary) bool) {

@@ -40,13 +40,14 @@ type WorkloadSpec struct {
 // reference. The typed getters consume keys; Finish errors on leftovers
 // so misspelled parameters never pass silently.
 type WorkloadArgs struct {
+	kind string // "workload" or "analysis", for error messages
 	ref  string
 	vals map[string]string
 	used map[string]bool
 }
 
-func newWorkloadArgs(ref string, vals map[string]string) WorkloadArgs {
-	return WorkloadArgs{ref: ref, vals: vals, used: make(map[string]bool)}
+func newWorkloadArgs(kind, ref string, vals map[string]string) WorkloadArgs {
+	return WorkloadArgs{kind: kind, ref: ref, vals: vals, used: make(map[string]bool)}
 }
 
 // Int consumes an integer parameter, returning def when absent.
@@ -58,7 +59,7 @@ func (a WorkloadArgs) Int(key string, def int) (int, error) {
 	}
 	v, err := strconv.Atoi(s)
 	if err != nil {
-		return 0, fmt.Errorf("workload %q: parameter %s=%q is not an integer", a.ref, key, s)
+		return 0, fmt.Errorf("%s %q: parameter %s=%q is not an integer", a.kind, a.ref, key, s)
 	}
 	return v, nil
 }
@@ -73,7 +74,7 @@ func (a WorkloadArgs) Int64(key string, def int64) (int64, error) {
 	}
 	v, err := strconv.ParseInt(s, 10, 64)
 	if err != nil {
-		return 0, fmt.Errorf("workload %q: parameter %s=%q is not an integer", a.ref, key, s)
+		return 0, fmt.Errorf("%s %q: parameter %s=%q is not an integer", a.kind, a.ref, key, s)
 	}
 	return v, nil
 }
@@ -87,7 +88,7 @@ func (a WorkloadArgs) Bool(key string, def bool) (bool, error) {
 	}
 	v, err := strconv.ParseBool(s)
 	if err != nil {
-		return false, fmt.Errorf("workload %q: parameter %s=%q is not a boolean", a.ref, key, s)
+		return false, fmt.Errorf("%s %q: parameter %s=%q is not a boolean", a.kind, a.ref, key, s)
 	}
 	return v, nil
 }
@@ -103,7 +104,7 @@ func (a WorkloadArgs) Range(key string, defLo, defHi int) (lo, hi int, err error
 	parse := func(part string) (int, error) {
 		v, err := strconv.Atoi(part)
 		if err != nil {
-			return 0, fmt.Errorf("workload %q: parameter %s=%q is not an integer or lo..hi range", a.ref, key, s)
+			return 0, fmt.Errorf("%s %q: parameter %s=%q is not an integer or lo..hi range", a.kind, a.ref, key, s)
 		}
 		return v, nil
 	}
@@ -121,7 +122,7 @@ func (a WorkloadArgs) Range(key string, defLo, defHi int) (lo, hi int, err error
 		hi = lo
 	}
 	if lo > hi {
-		return 0, 0, fmt.Errorf("workload %q: empty range %s=%q", a.ref, key, s)
+		return 0, 0, fmt.Errorf("%s %q: empty range %s=%q", a.kind, a.ref, key, s)
 	}
 	return lo, hi, nil
 }
@@ -136,63 +137,167 @@ func (a WorkloadArgs) Finish() error {
 	}
 	if len(unknown) > 0 {
 		sort.Strings(unknown)
-		return fmt.Errorf("workload %q: unknown parameter(s) %s", a.ref, strings.Join(unknown, ", "))
+		return fmt.Errorf("%s %q: unknown parameter(s) %s", a.kind, a.ref, strings.Join(unknown, ", "))
 	}
 	return nil
+}
+
+// specRegistry is the shared name-resolution core behind the workload
+// and analysis registries: case-insensitive canonical names plus
+// aliases, registration order, and reference splitting. Registry names
+// may themselves contain ':' (the analysis families "search:optmin",
+// "search:upmin" do), so splitRef resolves the longest registered
+// colon-prefix of a reference and treats the remainder as the argument
+// list. All methods are safe for concurrent use.
+type specRegistry[S any] struct {
+	kind  string // "workloads" / "analyses", for error messages
+	mu    sync.RWMutex
+	specs map[string]S
+	alias map[string]string
+	order []string
+}
+
+func newSpecRegistry[S any](kind string) *specRegistry[S] {
+	return &specRegistry[S]{
+		kind:  kind,
+		specs: make(map[string]S),
+		alias: make(map[string]string),
+	}
+}
+
+// register adds a spec under its canonical name and aliases. It fails on
+// empty or duplicate names, including alias collisions.
+func (r *specRegistry[S]) register(name string, aliases []string, spec S) error {
+	if name == "" {
+		return fmt.Errorf("%s: spec with empty name", r.kind)
+	}
+	key := strings.ToLower(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.specs[key]; dup {
+		return fmt.Errorf("%s: %q already registered", r.kind, name)
+	}
+	if _, dup := r.alias[key]; dup {
+		return fmt.Errorf("%s: name %q already registered as an alias", r.kind, name)
+	}
+	for _, a := range aliases {
+		ak := strings.ToLower(a)
+		if _, dup := r.specs[ak]; dup {
+			return fmt.Errorf("%s: alias %q collides with a registered name", r.kind, a)
+		}
+		if _, dup := r.alias[ak]; dup {
+			return fmt.Errorf("%s: alias %q already registered", r.kind, a)
+		}
+	}
+	r.specs[key] = spec
+	for _, a := range aliases {
+		r.alias[strings.ToLower(a)] = key
+	}
+	r.order = append(r.order, key)
+	return nil
+}
+
+// lookup resolves an exact name or alias, case-insensitively.
+func (r *specRegistry[S]) lookup(name string) (S, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if s, ok := r.specs[key]; ok {
+		return s, nil
+	}
+	if canon, ok := r.alias[key]; ok {
+		return r.specs[canon], nil
+	}
+	var zero S
+	known := make([]string, 0, len(r.specs))
+	for k := range r.specs {
+		known = append(known, k)
+	}
+	sort.Strings(known)
+	return zero, fmt.Errorf("%s: unknown name %q (known: %s)", r.kind, name, strings.Join(known, ", "))
+}
+
+// splitRef resolves a reference "name" or "name:key=val,..." against the
+// registered names, matching the longest ':'-separated prefix that names
+// a spec, and returns the spec plus the unparsed argument remainder.
+func (r *specRegistry[S]) splitRef(ref string) (S, string, error) {
+	trimmed := strings.TrimSpace(ref)
+	segs := strings.Split(trimmed, ":")
+	var firstErr error
+	for i := len(segs); i >= 1; i-- {
+		name := strings.Join(segs[:i], ":")
+		s, err := r.lookup(name)
+		if err == nil {
+			return s, strings.Join(segs[i:], ":"), nil
+		}
+		if firstErr == nil {
+			firstErr = err // the full-reference miss lists the known names
+		}
+	}
+	var zero S
+	return zero, "", firstErr
+}
+
+// names returns the canonical names in registration order.
+func (r *specRegistry[S]) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// all returns the specs in registration order.
+func (r *specRegistry[S]) all() []S {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]S, 0, len(r.order))
+	for _, k := range r.order {
+		out = append(out, r.specs[k])
+	}
+	return out
+}
+
+// parseArgPairs parses the "key=val,key=val" remainder of a reference
+// into the WorkloadArgs value map, rejecting malformed and duplicate
+// keys. kind labels the reference in errors ("workload" or "analysis").
+func parseArgPairs(kind, ref, argStr string) (map[string]string, error) {
+	vals := make(map[string]string)
+	if argStr == "" {
+		return vals, nil
+	}
+	for _, pair := range strings.Split(argStr, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		k = strings.ToLower(strings.TrimSpace(k))
+		if !ok || k == "" {
+			return nil, fmt.Errorf("%s %q: malformed parameter %q (want key=value)", kind, ref, pair)
+		}
+		if _, dup := vals[k]; dup {
+			return nil, fmt.Errorf("%s %q: duplicate parameter %q", kind, ref, k)
+		}
+		vals[k] = strings.TrimSpace(v)
+	}
+	return vals, nil
 }
 
 // WorkloadRegistry maps workload names to specs. The zero value is not
 // usable; call NewWorkloadRegistry. All methods are safe for concurrent
 // use.
 type WorkloadRegistry struct {
-	mu    sync.RWMutex
-	specs map[string]*WorkloadSpec
-	alias map[string]string
-	order []string
+	reg *specRegistry[*WorkloadSpec]
 }
 
 // NewWorkloadRegistry returns an empty workload registry.
 func NewWorkloadRegistry() *WorkloadRegistry {
-	return &WorkloadRegistry{
-		specs: make(map[string]*WorkloadSpec),
-		alias: make(map[string]string),
-	}
+	return &WorkloadRegistry{reg: newSpecRegistry[*WorkloadSpec]("workloads")}
 }
 
 // Register adds a spec. It fails on empty or duplicate names (including
 // alias collisions) and on specs missing a constructor.
 func (r *WorkloadRegistry) Register(spec WorkloadSpec) error {
-	if spec.Name == "" {
-		return fmt.Errorf("workloads: spec with empty name")
-	}
 	if spec.New == nil {
 		return fmt.Errorf("workloads: %s: nil constructor", spec.Name)
 	}
-	key := strings.ToLower(spec.Name)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, dup := r.specs[key]; dup {
-		return fmt.Errorf("workloads: workload %q already registered", spec.Name)
-	}
-	if _, dup := r.alias[key]; dup {
-		return fmt.Errorf("workloads: name %q already registered as an alias", spec.Name)
-	}
-	for _, a := range spec.Aliases {
-		ak := strings.ToLower(a)
-		if _, dup := r.specs[ak]; dup {
-			return fmt.Errorf("workloads: alias %q collides with a workload name", a)
-		}
-		if _, dup := r.alias[ak]; dup {
-			return fmt.Errorf("workloads: alias %q already registered", a)
-		}
-	}
 	s := spec
-	r.specs[key] = &s
-	for _, a := range spec.Aliases {
-		r.alias[strings.ToLower(a)] = key
-	}
-	r.order = append(r.order, key)
-	return nil
+	return r.reg.register(spec.Name, spec.Aliases, &s)
 }
 
 // MustRegister is Register for static registrations.
@@ -204,64 +309,27 @@ func (r *WorkloadRegistry) MustRegister(spec WorkloadSpec) {
 
 // Lookup resolves a workload name or alias, case-insensitively.
 func (r *WorkloadRegistry) Lookup(name string) (*WorkloadSpec, error) {
-	key := strings.ToLower(strings.TrimSpace(name))
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if s, ok := r.specs[key]; ok {
-		return s, nil
-	}
-	if canon, ok := r.alias[key]; ok {
-		return r.specs[canon], nil
-	}
-	known := make([]string, 0, len(r.specs))
-	for k := range r.specs {
-		known = append(known, k)
-	}
-	sort.Strings(known)
-	return nil, fmt.Errorf("workloads: unknown workload %q (known: %s)", name, strings.Join(known, ", "))
+	return r.reg.lookup(name)
 }
 
 // Names returns the canonical workload names in registration order.
-func (r *WorkloadRegistry) Names() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return append([]string(nil), r.order...)
-}
+func (r *WorkloadRegistry) Names() []string { return r.reg.names() }
 
 // Specs returns all registered specs in registration order.
-func (r *WorkloadRegistry) Specs() []*WorkloadSpec {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]*WorkloadSpec, 0, len(r.order))
-	for _, k := range r.order {
-		out = append(out, r.specs[k])
-	}
-	return out
-}
+func (r *WorkloadRegistry) Specs() []*WorkloadSpec { return r.reg.all() }
 
 // Parse resolves a workload reference — "name" or
 // "name:key=val,key=val" — into a Source.
 func (r *WorkloadRegistry) Parse(ref string) (Source, error) {
-	name, argStr, _ := strings.Cut(strings.TrimSpace(ref), ":")
-	spec, err := r.Lookup(name)
+	spec, argStr, err := r.reg.splitRef(ref)
 	if err != nil {
 		return nil, err
 	}
-	vals := make(map[string]string)
-	if argStr != "" {
-		for _, pair := range strings.Split(argStr, ",") {
-			k, v, ok := strings.Cut(pair, "=")
-			k = strings.ToLower(strings.TrimSpace(k))
-			if !ok || k == "" {
-				return nil, fmt.Errorf("workload %q: malformed parameter %q (want key=value)", ref, pair)
-			}
-			if _, dup := vals[k]; dup {
-				return nil, fmt.Errorf("workload %q: duplicate parameter %q", ref, k)
-			}
-			vals[k] = strings.TrimSpace(v)
-		}
+	vals, err := parseArgPairs("workload", ref, argStr)
+	if err != nil {
+		return nil, err
 	}
-	return spec.New(newWorkloadArgs(ref, vals))
+	return spec.New(newWorkloadArgs("workload", ref, vals))
 }
 
 // stepSource is a named family swept over one scalar parameter: one
