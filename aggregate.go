@@ -3,6 +3,7 @@ package setconsensus
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"setconsensus/internal/agg"
 	"setconsensus/internal/experiments"
@@ -20,7 +21,34 @@ type Aggregator struct {
 	// tasksByIdx mirrors tasks in sweep ref order for the sharded fold
 	// path, which addresses protocols by index instead of map lookup.
 	tasksByIdx []Task
+	// advs counts the adversaries fully folded by the sharded path — one
+	// atomic bump per adversary (not per run), so the progress feed costs
+	// the hot loop a single uncontended add per len(tasksByIdx) runs.
+	advs atomic.Int64
 }
+
+// SweepProgress is one streamed snapshot of a running aggregating sweep:
+// the count of adversaries fully folded so far and the runs they
+// contributed (adversaries × protocols — foldOne folds all protocols of
+// an adversary before bumping). It is the sweep-side analogue of
+// AnalysisProgress, consumed by Engine.SweepSourceProgress and streamed
+// over SSE by the job service. Total stays 0 for exhaustive spaces,
+// whose canonical size is only discovered by walking them.
+type SweepProgress struct {
+	Adversaries int `json:"adversaries"`
+	Runs        int `json:"runs"`
+	Total       int `json:"total,omitempty"`
+}
+
+// Progress snapshots the sharded fold counters. Safe for concurrent use
+// with a running sweep; the snapshot is monotone.
+func (a *Aggregator) Progress() SweepProgress {
+	n := int(a.advs.Load())
+	return SweepProgress{Adversaries: n, Runs: n * len(a.tasksByIdx)}
+}
+
+// advDone records one fully folded adversary for the progress feed.
+func (a *Aggregator) advDone() { a.advs.Add(1) }
 
 // NewAggregator builds an aggregator for the named protocols, verifying
 // every run against the task its protocol claims to solve at the

@@ -21,9 +21,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	setconsensus "setconsensus"
 	"setconsensus/internal/cli"
@@ -38,7 +41,19 @@ func main() {
 	backendName := flag.String("backend", "oracle", "execution backend for -workload sweeps")
 	k := flag.Int("k", 1, "coordination degree k for -workload sweeps")
 	t := flag.Int("t", -1, "crash bound t for -workload sweeps (default: each adversary's failure count)")
+	timeout := flag.Duration("timeout", 0, "abort -workload/-analyze after this duration (0 = no limit); exits 130 on expiry, like SIGINT/SIGTERM")
 	flag.Parse()
+
+	// Long sweeps and analyses cancel cleanly on SIGINT/SIGTERM or
+	// -timeout — the engine drains its worker pool and the run exits
+	// with the distinct cancellation code instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *analyze != "" {
 		if *workload != "" {
@@ -48,21 +63,19 @@ func main() {
 		backend, err := setconsensus.ParseBackend(*backendName)
 		if err == nil {
 			var rep *setconsensus.AnalysisReport
-			if rep, err = cli.RunAnalysis(os.Stdout, *analyze, backend, *k); err == nil && !rep.OK() {
+			if rep, err = cli.RunAnalysis(ctx, os.Stdout, *analyze, backend, *k); err == nil && !rep.OK() {
 				err = fmt.Errorf("analysis FAILED: %s", rep)
 			}
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
 
 	if *workload != "" {
-		if err := sweep(*workload, *protocols, *backendName, *k, *t); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := sweep(ctx, *workload, *protocols, *backendName, *k, *t); err != nil {
+			fail(err)
 		}
 		return
 	}
@@ -85,14 +98,24 @@ func main() {
 	}
 }
 
+// fail reports a runtime failure, exiting with the distinct
+// cancellation code when the context was cut short.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	if cli.Cancelled(err) {
+		os.Exit(cli.ExitCancelled)
+	}
+	os.Exit(1)
+}
+
 // sweep streams the workload through the protocols and prints the
 // summary in the experiment table format.
-func sweep(workload, protocols, backendName string, k, t int) error {
+func sweep(ctx context.Context, workload, protocols, backendName string, k, t int) error {
 	backend, err := setconsensus.ParseBackend(backendName)
 	if err != nil {
 		return err
 	}
-	sum, err := cli.SweepWorkload(os.Stdout, workload, cli.SplitList(protocols), backend, k, t)
+	sum, err := cli.SweepWorkload(ctx, os.Stdout, workload, cli.SplitList(protocols), backend, k, t)
 	if err != nil {
 		return err
 	}

@@ -30,6 +30,11 @@
 //	setconsensus -analyze "search:optmin:n=3,t=2,r=3,width=2"
 //	setconsensus -analyze "forced" -k 3
 //
+//	# Submit the same sweep to a running setconsensusd as a remote job —
+//	# output is identical to executing locally:
+//	setconsensus -server http://127.0.0.1:8372 -protocol optmin -t 2 \
+//	    -workload "space:n=4,t=2,r=2,v=0..1"
+//
 // Crash syntax: "p@r:a,b" crashes process p in round r delivering only to
 // a and b; "p@r:" is a silent crash; "p@r:*" is a complete send. Multiple
 // crashes are separated by ';'. Workload syntax: "name" or
@@ -41,8 +46,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	setconsensus "setconsensus"
 	"setconsensus/internal/cli"
@@ -57,10 +64,24 @@ func main() {
 	crashFlag := flag.String("crash", "", "crash spec, e.g. \"1@1:2;3@2:*\" (single-run mode)")
 	workload := flag.String("workload", "", "named workload to sweep, e.g. \"collapse:k=3,r=2..6\" (see -list-workloads)")
 	analyze := flag.String("analyze", "", "named analysis to run, e.g. \"search:optmin:width=2\" or \"forced:k=3\" (see -list-analyses)")
+	server := flag.String("server", "", "setconsensusd base URL; -workload/-analyze submit as remote jobs, e.g. http://127.0.0.1:8372")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); exits 130 on expiry, like SIGINT/SIGTERM")
 	list := flag.Bool("list", false, "list registered protocols and exit")
 	listWorkloads := flag.Bool("list-workloads", false, "list registered workloads and exit")
 	listAnalyses := flag.Bool("list-analyses", false, "list registered analysis families and exit")
 	flag.Parse()
+
+	// A long sweep or analysis must cancel cleanly — worker pools
+	// drained, summaries unwritten rather than half-written — instead of
+	// dying mid-write: SIGINT/SIGTERM and -timeout all flow through one
+	// context, and cancellation exits with its own code (130).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list {
 		for _, spec := range setconsensus.DefaultRegistry().Specs() {
@@ -93,9 +114,15 @@ func main() {
 		if *workload != "" || *inputsFlag != "" || *crashFlag != "" {
 			fatal(fmt.Errorf("-analyze and -workload/-inputs/-crash are mutually exclusive"))
 		}
-		rep, err := cli.RunAnalysis(os.Stdout, *analyze, backend, *k)
+		var rep *setconsensus.AnalysisReport
+		var err error
+		if *server != "" {
+			rep, err = cli.RunAnalysisRemote(ctx, os.Stdout, *server, *analyze, backend, *k)
+		} else {
+			rep, err = cli.RunAnalysis(ctx, os.Stdout, *analyze, backend, *k)
+		}
 		if err != nil {
-			fatal(err)
+			fatalRun(err)
 		}
 		// Same exit contract as the sweep modes: 1 = the paper's claim
 		// failed to verify (a beating deviation or an uncertified node),
@@ -115,9 +142,15 @@ func main() {
 		if *inputsFlag != "" || *crashFlag != "" {
 			fatal(fmt.Errorf("-workload and -inputs/-crash are mutually exclusive"))
 		}
-		sum, err := cli.SweepWorkload(os.Stdout, *workload, refs, backend, *k, *t)
+		var sum *setconsensus.Summary
+		var err error
+		if *server != "" {
+			sum, err = cli.SweepWorkloadRemote(ctx, os.Stdout, *server, *workload, refs, backend, *k, *t)
+		} else {
+			sum, err = cli.SweepWorkload(ctx, os.Stdout, *workload, refs, backend, *k, *t)
+		}
 		if err != nil {
-			fatal(err)
+			fatalRun(err)
 		}
 		// Same exit contract as single-run mode: 1 = task violation
 		// (including a correct process never deciding), 2 = bad
@@ -132,12 +165,15 @@ func main() {
 	if len(refs) > 1 {
 		fatal(fmt.Errorf("single-run mode takes one -protocol (got %d); use -workload to sweep", len(refs)))
 	}
+	if *server != "" {
+		fatal(fmt.Errorf("-server submits -workload sweeps and -analyze jobs; single runs execute locally"))
+	}
 	adv, tBound, err := buildAdversary(*inputsFlag, *crashFlag, *t)
 	if err != nil {
 		fatal(err)
 	}
-	if err := runSingle(refs[0], adv, backend, *k, tBound); err != nil {
-		fatal(err)
+	if err := runSingle(ctx, refs[0], adv, backend, *k, tBound); err != nil {
+		fatalRun(err)
 	}
 }
 
@@ -146,9 +182,19 @@ func fatal(err error) {
 	os.Exit(2)
 }
 
+// fatalRun reports a runtime failure, distinguishing cancellation
+// (SIGINT/SIGTERM/-timeout → 130) from bad invocations (2).
+func fatalRun(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	if cli.Cancelled(err) {
+		os.Exit(cli.ExitCancelled)
+	}
+	os.Exit(2)
+}
+
 // runSingle executes one protocol against one adversary and prints the
 // decision table.
-func runSingle(ref string, adv *setconsensus.Adversary, backend setconsensus.BackendKind, k, tBound int) error {
+func runSingle(ctx context.Context, ref string, adv *setconsensus.Adversary, backend setconsensus.BackendKind, k, tBound int) error {
 	spec, err := setconsensus.LookupProtocol(ref)
 	if err != nil {
 		return err
@@ -158,7 +204,7 @@ func runSingle(ref string, adv *setconsensus.Adversary, backend setconsensus.Bac
 		setconsensus.WithCrashBound(tBound),
 		setconsensus.WithDegree(k),
 	)
-	res, err := eng.Run(context.Background(), spec.Name, adv)
+	res, err := eng.Run(ctx, spec.Name, adv)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -59,14 +60,14 @@ func TestWorkloadModeReplacesCollapseFlags(t *testing.T) {
 	if n != 1 {
 		t.Fatalf("pinned collapse yielded %d adversaries", n)
 	}
-	sum, err := cli.SweepWorkload(io.Discard, "collapse:k=2,r=2..4", []string{"upmin", "optmin"}, setconsensus.Oracle, 2, -1)
+	sum, err := cli.SweepWorkload(context.Background(), io.Discard, "collapse:k=2,r=2..4", []string{"upmin", "optmin"}, setconsensus.Oracle, 2, -1)
 	if err != nil {
 		t.Fatalf("SweepWorkload: %v", err)
 	}
 	if sum.Adversaries() != 3 || sum.Violations() != 0 {
 		t.Fatalf("collapse r=2..4 sweep: %d adversaries, %d violations", sum.Adversaries(), sum.Violations())
 	}
-	if _, err := cli.SweepWorkload(io.Discard, "nonsense", []string{"optmin"}, setconsensus.Oracle, 1, -1); err == nil {
+	if _, err := cli.SweepWorkload(context.Background(), io.Discard, "nonsense", []string{"optmin"}, setconsensus.Oracle, 1, -1); err == nil {
 		t.Error("unknown workload must error")
 	}
 }

@@ -152,6 +152,32 @@
 // drive the same families from the command line (exit 1 when a claim
 // fails to verify), and -list-analyses lists the registry.
 //
+// # Jobs and the Service
+//
+// Everything above is also operable as a long-running job service:
+// cmd/setconsensusd accepts sweep and analysis jobs over HTTP/JSON,
+// runs them on a bounded queue with per-job context deadlines and a
+// configurable worker pool, and streams progress over SSE. A job is a
+// kind ("sweep" | "analysis") plus the same references the CLIs take —
+// protocol refs and a workload reference, or an analysis reference —
+// resolved through the same registries, so anything expressible as
+// `setconsensus -workload/-analyze` is expressible as a job. Its
+// lifecycle is queued → running → done | failed | cancelled; DELETE
+// cancels through the job's context, terminal results (the same Summary
+// / AnalysisReport JSON) are retained in a bounded in-memory store, and
+// every budget — worker count, queue depth, per-job deadline, max
+// adversary space per job, retained results — is a validated
+// service.Params field with a typed rejection error. Engine progress
+// plumbs through: SweepSourceProgress emits throttled SweepProgress
+// snapshots (adversaries and runs folded so far) that the service
+// relays as SSE "progress" events, and AnalyzeStream's stage snapshots
+// stream the same way. `setconsensus -server URL` submits sweeps and
+// analyses as remote jobs and renders the returned result through the
+// identical table path, byte-for-byte. internal/service holds the
+// embeddable Server and Client; /debug/vars (expvar) and /debug/pprof
+// expose counters (queue depth, runs/s, graphs revived vs rebuilt) and
+// profiles.
+//
 // # Performance
 //
 // The fleet-wide hot path is knowledge-graph construction: every oracle
@@ -216,9 +242,12 @@
 // (pr4_post is the sharded/pooled sweep: BenchmarkSweepSource 3.4ms →
 // 1.0ms and 29.3k → 1.6k allocs/op vs pr3_post; pr5_post is the
 // analysis pipeline: the seeded deviation search 112.2ms/1.21M allocs →
-// 29.2ms/22.3k through Engine.Analyze); CI uploads benchstat-comparable
-// output per run and gates >20% ns/op regressions on the sweep and
-// analysis hot paths via cmd/benchguard. To profile locally:
+// 29.2ms/22.3k through Engine.Analyze; pr6_post adds the job service —
+// BenchmarkServiceSubmit puts the full job lifecycle at ~76µs/202
+// allocs over the underlying sweep); CI uploads benchstat-comparable
+// output per run and gates >20% ns/op regressions on the sweep,
+// analysis, and service hot paths via cmd/benchguard. To profile
+// locally:
 //
 //	go test -run xxx -bench BenchmarkSweepSource -cpuprofile cpu.out .
 //	go tool pprof -top cpu.out

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"setconsensus/internal/agg"
 	"setconsensus/internal/knowledge"
@@ -53,6 +55,14 @@ type Engine struct {
 	// knowledge Builder) across SweepSource calls, so repeated sweeps on
 	// one engine pay no per-sweep warm-up allocations.
 	kits sync.Pool
+
+	// statBuilt/statRevived accumulate the builder counts harvested when
+	// a worker returns its kit — the engine-wide "graphs rebuilt vs
+	// revived" observability counters behind Stats. They only move on the
+	// recycling path (graph cache disabled, or an analysis compile);
+	// cached graphs are counted by CachedGraphs instead.
+	statBuilt   atomic.Int64
+	statRevived atomic.Int64
 
 	mu         sync.Mutex
 	graphs     map[graphKey]*knowledge.Graph
@@ -127,6 +137,31 @@ func New(opts ...Option) *Engine {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	return newEngine(cfg)
+}
+
+// NewEngine is the params-first constructor: it builds an Engine from a
+// fully specified EngineParams and surfaces out-of-range values as an
+// error immediately, instead of deferring them to the first Run/Sweep
+// the way New's option form does. Long-running callers (the job service,
+// anything that validates configuration at startup) should prefer it;
+// the functional Options remain thin wrappers over the same struct.
+// Additional options (registry overrides, field tweaks) apply on top of
+// p before validation.
+func NewEngine(p EngineParams, opts ...Option) (*Engine, error) {
+	cfg := engineConfig{params: p, reg: DefaultRegistry(), analyses: DefaultAnalyses()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	e := newEngine(cfg)
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e, nil
+}
+
+// newEngine is the shared construction path behind New and NewEngine.
+func newEngine(cfg engineConfig) *Engine {
 	e := &Engine{
 		params:   cfg.params,
 		reg:      cfg.reg,
@@ -291,6 +326,29 @@ func (e *Engine) CachedGraphs() int {
 	return len(e.graphs)
 }
 
+// EngineStats is a point-in-time snapshot of an engine's observability
+// counters — the measurement feed behind the job service's expvar
+// surface. GraphsRebuilt and GraphsRevived count full knowledge-graph
+// builds versus same-pattern revives on the arena-recycling path (graph
+// cache disabled, and every analysis compile stage); CachedGraphs is the
+// current cache population on the caching path.
+type EngineStats struct {
+	GraphsRebuilt int64 `json:"graphsRebuilt"`
+	GraphsRevived int64 `json:"graphsRevived"`
+	CachedGraphs  int   `json:"cachedGraphs"`
+}
+
+// Stats snapshots the engine's counters. Worker-local builder counts
+// fold in when a sweep or analysis returns its kit, so a snapshot taken
+// mid-sweep may trail the in-flight work by up to one worker shard.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		GraphsRebuilt: e.statBuilt.Load(),
+		GraphsRevived: e.statRevived.Load(),
+		CachedGraphs:  e.CachedGraphs(),
+	}
+}
+
 // Run resolves ref in the registry and executes it against adv on the
 // configured backend.
 func (e *Engine) Run(ctx context.Context, ref string, adv *Adversary) (*Result, error) {
@@ -370,20 +428,7 @@ func (e *Engine) SweepStream(ctx context.Context, refs []string, advs []*Adversa
 // there is no per-run aggregator lock, so throughput scales with
 // Parallelism.
 func (e *Engine) SweepSource(ctx context.Context, refs []string, src Source) (*Summary, error) {
-	if e.err != nil {
-		return nil, e.err
-	}
-	if src == nil {
-		return nil, fmt.Errorf("engine: nil source")
-	}
-	a, err := e.NewAggregator(src.Label(), refs)
-	if err != nil {
-		return nil, err
-	}
-	if err := e.sweepAggregate(ctx, refs, src, a); err != nil {
-		return nil, err
-	}
-	return a.Summary(), nil
+	return e.SweepSourceProgress(ctx, refs, src, 0, nil)
 }
 
 // SweepSourceStream is SweepSource with per-result delivery instead of
@@ -631,7 +676,14 @@ func (e *Engine) getKit(recycleGraphs bool) *runKit {
 	return kit
 }
 
-func (e *Engine) putKit(kit *runKit) { e.kits.Put(kit) }
+func (e *Engine) putKit(kit *runKit) {
+	if kit.builder != nil {
+		built, revived := kit.builder.TakeCounts()
+		e.statBuilt.Add(int64(built))
+		e.statRevived.Add(int64(revived))
+	}
+	e.kits.Put(kit)
+}
 
 // protoMemo is a worker-local memo of the resolved protocol entries and
 // shared horizon for one Params value. Within a sweep the params only
@@ -722,5 +774,69 @@ func (e *Engine) foldOne(ctx context.Context, refs []string, specs []*ProtocolSp
 		}
 		a.fold(&shard[refIdx], refIdx, res, kit.buf)
 	}
+	a.advDone()
 	return nil
+}
+
+// sweepProgressInterval is the default snapshot period of
+// SweepSourceProgress when the caller passes every ≤ 0.
+const sweepProgressInterval = 100 * time.Millisecond
+
+// SweepSourceProgress is SweepSource with a streaming progress feed —
+// the aggregating-sweep analogue of AnalyzeStream. While the sweep runs,
+// progress receives throttled SweepProgress snapshots every interval
+// (every ≤ 0 means the 100ms default), serialized from one goroutine at
+// a time, followed by exactly one final snapshot after the last run has
+// folded. The run path itself is untouched: workers bump one atomic per
+// adversary and a side ticker reads it, so progress costs the hot loop
+// nothing measurable. Cancelling ctx aborts the sweep promptly.
+func (e *Engine) SweepSourceProgress(ctx context.Context, refs []string, src Source, every time.Duration, progress func(SweepProgress)) (*Summary, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("engine: nil source")
+	}
+	a, err := e.NewAggregator(src.Label(), refs)
+	if err != nil {
+		return nil, err
+	}
+	var stop, done chan struct{}
+	if progress != nil {
+		if every <= 0 {
+			every = sweepProgressInterval
+		}
+		stop, done = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(done)
+			t := time.NewTicker(every)
+			defer t.Stop()
+			last := SweepProgress{Adversaries: -1}
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					if p := a.Progress(); p != last {
+						last = p
+						progress(p)
+					}
+				}
+			}
+		}()
+	}
+	err = e.sweepAggregate(ctx, refs, src, a)
+	if progress != nil {
+		// Quiesce the ticker before the closing snapshot so emission
+		// stays serialized and the final snapshot is the last delivered.
+		close(stop)
+		<-done
+	}
+	if err != nil {
+		return nil, err
+	}
+	if progress != nil {
+		progress(a.Progress())
+	}
+	return a.Summary(), nil
 }

@@ -1,16 +1,35 @@
-// Package cli holds the workload-sweep flow shared by the command-line
-// binaries, so cmd/setconsensus and cmd/experiments render identical
-// summaries and apply identical defaults instead of drifting copies.
+// Package cli holds the workload-sweep and analysis flows shared by the
+// command-line binaries, so cmd/setconsensus and cmd/experiments render
+// identical summaries and apply identical defaults instead of drifting
+// copies. Every flow takes a context — the binaries install
+// signal.NotifyContext and -timeout around it — and each has a remote
+// twin that submits the same reference to a setconsensusd server and
+// renders the returned result identically, so `-server` output diffs
+// clean against local output.
 package cli
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 
 	setconsensus "setconsensus"
+	"setconsensus/internal/service"
 )
+
+// ExitCancelled is the distinct exit code of a run cut short by
+// SIGINT/SIGTERM or -timeout (128+SIGINT by shell convention), so
+// scripts can tell "cancelled" from "claim failed" (1) and "bad
+// invocation" (2).
+const ExitCancelled = 130
+
+// Cancelled reports whether err is a context cancellation or deadline
+// expiry — the binaries' exit-code branch.
+func Cancelled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // SplitList splits a comma-separated flag value, trimming whitespace and
 // dropping empty entries.
@@ -30,8 +49,9 @@ func SplitList(s string) []string {
 // defaults to PatternCrashBound — each adversary's own failure count,
 // the bound the named family curves are designed for (and the one the
 // pre-workload CLI derived via CollapseT); pass an explicit t ≥ 0 to pin
-// an a-priori bound across the sweep.
-func SweepWorkload(w io.Writer, workloadRef string, refs []string, backend setconsensus.BackendKind, k, t int) (*setconsensus.Summary, error) {
+// an a-priori bound across the sweep. Cancelling ctx aborts the sweep
+// mid-stream with ctx's error.
+func SweepWorkload(ctx context.Context, w io.Writer, workloadRef string, refs []string, backend setconsensus.BackendKind, k, t int) (*setconsensus.Summary, error) {
 	src, err := setconsensus.ParseWorkload(workloadRef)
 	if err != nil {
 		return nil, err
@@ -44,7 +64,7 @@ func SweepWorkload(w io.Writer, workloadRef string, refs []string, backend setco
 		setconsensus.WithCrashBound(t),
 		setconsensus.WithDegree(k),
 	)
-	sum, err := eng.SweepSource(context.Background(), refs, src)
+	sum, err := eng.SweepSource(ctx, refs, src)
 	if err != nil {
 		return nil, err
 	}
@@ -60,14 +80,14 @@ func SweepWorkload(w io.Writer, workloadRef string, refs []string, backend setco
 // by the report table to w, and returns the report for the caller's
 // exit-code policy (a beaten search is a claim violation). k ≥ 1 sets
 // the engine degree the families default to.
-func RunAnalysis(w io.Writer, ref string, backend setconsensus.BackendKind, k int) (*setconsensus.AnalysisReport, error) {
+func RunAnalysis(ctx context.Context, w io.Writer, ref string, backend setconsensus.BackendKind, k int) (*setconsensus.AnalysisReport, error) {
 	opts := []setconsensus.Option{setconsensus.WithBackend(backend)}
 	if k >= 1 {
 		opts = append(opts, setconsensus.WithDegree(k))
 	}
 	eng := setconsensus.New(opts...)
 	lastStage := ""
-	rep, err := eng.AnalyzeStream(context.Background(), ref, func(p setconsensus.AnalysisProgress) {
+	rep, err := eng.AnalyzeStream(ctx, ref, func(p setconsensus.AnalysisProgress) {
 		if p.Stage == lastStage {
 			return
 		}
@@ -88,4 +108,68 @@ func ListAnalyses(w io.Writer) {
 		fmt.Fprintf(w, "%-14s %s\n", spec.Name, spec.Summary)
 		fmt.Fprintf(w, "%-14s   params: %s\n", "", spec.Params)
 	}
+}
+
+// jobParams maps the shared CLI flags onto a job's engine parameters.
+// The t < 0 workload default (each adversary's failure count) is the
+// server's own sweep default, so it is expressed by omission.
+func jobParams(backend setconsensus.BackendKind, k, t int) service.JobParams {
+	p := service.JobParams{Backend: backend.String()}
+	if k >= 1 {
+		p.K = k
+	}
+	if t >= 0 {
+		p.T = &t
+	}
+	return p
+}
+
+// SweepWorkloadRemote is SweepWorkload against a setconsensusd server:
+// it submits the same workload reference as a sweep job, waits on the
+// job's SSE stream, and renders the returned Summary through the same
+// table path, so remote output is byte-identical to local output for
+// the same reference.
+func SweepWorkloadRemote(ctx context.Context, w io.Writer, server, workloadRef string, refs []string, backend setconsensus.BackendKind, k, t int) (*setconsensus.Summary, error) {
+	c := &service.Client{Base: server}
+	st, err := c.SubmitAndWait(ctx, service.JobRequest{
+		Kind:     service.KindSweep,
+		Refs:     refs,
+		Workload: workloadRef,
+		Params:   jobParams(backend, k, t),
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	if st.State != service.StateDone {
+		return nil, fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	fmt.Fprintln(w, setconsensus.SummaryTable(st.Summary).Render())
+	return st.Summary, nil
+}
+
+// RunAnalysisRemote is RunAnalysis against a setconsensusd server,
+// printing the same per-stage progress lines from the job's SSE stream
+// followed by the same report table.
+func RunAnalysisRemote(ctx context.Context, w io.Writer, server, ref string, backend setconsensus.BackendKind, k int) (*setconsensus.AnalysisReport, error) {
+	c := &service.Client{Base: server}
+	lastStage := ""
+	st, err := c.SubmitAndWait(ctx, service.JobRequest{
+		Kind:     service.KindAnalysis,
+		Analysis: ref,
+		Params:   jobParams(backend, k, -1),
+	}, func(p service.JobProgress) {
+		if p.Stage == lastStage {
+			return
+		}
+		lastStage = p.Stage
+		fmt.Fprintf(w, "stage %s...\n", p.Stage)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if st.State != service.StateDone {
+		return nil, fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	fmt.Fprintln(w, setconsensus.AnalysisTable(st.Analysis).Render())
+	return st.Analysis, nil
 }

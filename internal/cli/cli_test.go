@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -24,7 +25,7 @@ func TestSplitList(t *testing.T) {
 // FloodMin on collapse k=2,r=3 decides at ⌊t/k⌋+1 = 5, not the 6 that
 // t = n−1 would give.
 func TestSweepWorkloadDefaultsToPatternBound(t *testing.T) {
-	sum, err := SweepWorkload(io.Discard, "collapse:k=2,r=3", []string{"floodmin"}, setconsensus.Oracle, 2, -1)
+	sum, err := SweepWorkload(context.Background(), io.Discard, "collapse:k=2,r=3", []string{"floodmin"}, setconsensus.Oracle, 2, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestSweepWorkloadDefaultsToPatternBound(t *testing.T) {
 		t.Fatalf("floodmin on collapse k=2,r=3: decided at %d, want 5 (t = k(r+1) = 8)", p.MaxTime)
 	}
 	// An explicit t pins the a-priori bound instead.
-	sum, err = SweepWorkload(io.Discard, "collapse:k=2,r=3", []string{"floodmin"}, setconsensus.Oracle, 2, 10)
+	sum, err = SweepWorkload(context.Background(), io.Discard, "collapse:k=2,r=3", []string{"floodmin"}, setconsensus.Oracle, 2, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestSweepWorkloadDefaultsToPatternBound(t *testing.T) {
 
 func TestSweepWorkloadRendersTable(t *testing.T) {
 	var b strings.Builder
-	if _, err := SweepWorkload(&b, "silentrounds:k=1,r=1..2", []string{"optmin"}, setconsensus.Oracle, 1, -1); err != nil {
+	if _, err := SweepWorkload(context.Background(), &b, "silentrounds:k=1,r=1..2", []string{"optmin"}, setconsensus.Oracle, 1, -1); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()

@@ -42,6 +42,13 @@ type Builder struct {
 	scPat     *model.FailurePattern
 	scHorizon int
 	scN       int
+
+	// built and revived count the full builds and revive fast-path hits
+	// this builder has served. A Builder belongs to one worker, so plain
+	// ints suffice; engines harvest them with TakeCounts when the worker
+	// returns its kit, turning per-build bookkeeping into two adds.
+	built   int
+	revived int
 }
 
 // NewBuilder returns an empty Builder. The zero value is also usable.
@@ -54,9 +61,21 @@ func NewBuilder() *Builder { return &Builder{} }
 // are recomputed.
 func (b *Builder) Build(adv *model.Adversary, horizon int) *Graph {
 	if g := b.revive(adv, horizon); g != nil {
+		b.revived++
 		return g
 	}
+	b.built++
 	return build(adv, horizon, &b.sc, b)
+}
+
+// TakeCounts returns the full-build and revive counts accumulated since
+// the last call and resets them. Engines fold the counts into their
+// observability counters when a worker's builder is returned to the
+// pool.
+func (b *Builder) TakeCounts() (built, revived int) {
+	built, revived = b.built, b.revived
+	b.built, b.revived = 0, 0
+	return built, revived
 }
 
 // revive reattaches the released spare graph for a same-pattern,

@@ -1,0 +1,205 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCancelMidSSE pins the cancellation path end to end: a DELETE
+// against a running job whose SSE stream is being consumed yields a
+// final "cancelled" event that closes the stream, the job lands in
+// StateCancelled, and the worker slot is released (the next job runs;
+// the helper's clean-drain teardown backs it up).
+func TestCancelMidSSE(t *testing.T) {
+	registerSlowWorkload(t)
+	_, c := newTestServer(t, nil)
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, JobRequest{
+		Kind: KindSweep, Refs: []string{"optmin"},
+		Workload: slowWorkload + ":steps=100000,delayus=500",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	progressed := make(chan struct{})
+	var once sync.Once
+	var events []string
+	done := make(chan struct{})
+	var final *JobStatus
+	var evErr error
+	go func() {
+		defer close(done)
+		final, evErr = c.Events(ctx, st.ID, func(ev Event) {
+			events = append(events, ev.Name)
+			if ev.Name == "progress" {
+				once.Do(func() { close(progressed) })
+			}
+		})
+	}()
+
+	select {
+	case <-progressed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no progress event within 10s")
+	}
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE stream did not terminate after cancel")
+	}
+	if evErr != nil {
+		t.Fatalf("Events: %v", evErr)
+	}
+	if final.State != StateCancelled {
+		t.Fatalf("final state = %s (%s), want cancelled", final.State, final.Error)
+	}
+	if final.Finished == nil {
+		t.Error("cancelled job has no finished timestamp")
+	}
+	if last := events[len(events)-1]; last != "cancelled" {
+		t.Fatalf("last SSE event = %q, want cancelled (saw %v)", last, events)
+	}
+
+	// The slot is free again: a quick job completes promptly.
+	quick, err := c.SubmitAndWait(ctx, JobRequest{
+		Kind: KindSweep, Refs: []string{"optmin"}, Workload: "collapse:k=1,r=2",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quick.State != StateDone {
+		t.Fatalf("post-cancel job finished %s (%s)", quick.State, quick.Error)
+	}
+}
+
+// TestRuntimeSpaceBudget pins the mid-run budget: an unknown-count
+// source sails through admission but is cut down with ErrSpaceBudget the
+// moment the fold passes MaxSpaceSize adversaries — a failed job with
+// the budget in its error, not a cancelled one.
+func TestRuntimeSpaceBudget(t *testing.T) {
+	registerSlowWorkload(t)
+	_, c := newTestServer(t, func(p *Params) { p.MaxSpaceSize = 20 })
+	st, err := c.SubmitAndWait(context.Background(), JobRequest{
+		Kind: KindSweep, Refs: []string{"optmin"},
+		Workload: slowWorkload + ":steps=100000,delayus=100",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed {
+		t.Fatalf("over-budget job finished %s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "budget") {
+		t.Fatalf("error %q does not carry the budget cause", st.Error)
+	}
+}
+
+// TestRequestTimeout pins the per-job deadline tightening: a request's
+// timeoutMs below the server's hard deadline expires the job into
+// StateFailed with the deadline in its error.
+func TestRequestTimeout(t *testing.T) {
+	registerSlowWorkload(t)
+	_, c := newTestServer(t, nil)
+	st, err := c.SubmitAndWait(context.Background(), JobRequest{
+		Kind: KindSweep, Refs: []string{"optmin"},
+		Workload: slowWorkload + ":steps=100000,delayus=500",
+		Params:   JobParams{TimeoutMS: 100},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed || !strings.Contains(st.Error, "deadline") {
+		t.Fatalf("timed-out job finished %s (%q), want failed with deadline", st.State, st.Error)
+	}
+}
+
+// TestNoGoroutineLeaks runs a full lifecycle — quick job, cancelled slow
+// job with an SSE consumer, drain — and checks the goroutine count
+// returns to its baseline, so neither workers, SSE writers, progress
+// tickers, nor the sampler outlive the server.
+func TestNoGoroutineLeaks(t *testing.T) {
+	registerSlowWorkload(t)
+	before := runtime.NumGoroutine()
+
+	p := Default()
+	p.Workers = 2
+	p.QueueDepth = 8
+	p.JobDeadline = 30 * time.Second
+	p.EngineParallelism = 2
+	p.ProgressInterval = 2 * time.Millisecond
+	s, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	c := &Client{Base: ts.URL, HTTP: ts.Client()}
+	ctx := context.Background()
+
+	if st, err := c.SubmitAndWait(ctx, JobRequest{
+		Kind: KindSweep, Refs: []string{"optmin"}, Workload: "collapse:k=1,r=2",
+	}, nil); err != nil || st.State != StateDone {
+		t.Fatalf("quick job: %v / %+v", err, st)
+	}
+	slow, err := c.Submit(ctx, JobRequest{
+		Kind: KindSweep, Refs: []string{"optmin"},
+		Workload: slowWorkload + ":steps=100000,delayus=500",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, slow.ID, StateRunning)
+	if _, err := c.Cancel(ctx, slow.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, c, slow.ID); st.State != StateCancelled {
+		t.Fatalf("slow job finished %s", st.State)
+	}
+
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("drain not clean: %v", err)
+	}
+	ts.Close()
+	c.http().CloseIdleConnections()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines: %d before, %d after shutdown\n%s",
+				before, runtime.NumGoroutine(), dumpForeign(string(buf)))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// dumpForeign trims a full stack dump to the non-testing goroutines, so
+// a leak failure names the culprit instead of drowning it.
+func dumpForeign(dump string) string {
+	var keep []string
+	for _, g := range strings.Split(dump, "\n\n") {
+		if strings.Contains(g, "testing.") || strings.Contains(g, "runtime.Stack") {
+			continue
+		}
+		keep = append(keep, g)
+	}
+	return fmt.Sprintf("%d foreign goroutines:\n%s", len(keep), strings.Join(keep, "\n\n"))
+}

@@ -1,0 +1,209 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the Go consumer of a setconsensusd server: it submits jobs,
+// follows their SSE streams, and fetches finished results. The CLIs'
+// -server mode is built on it, so a remote sweep renders exactly like a
+// local one.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8372".
+	Base string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// decodeError surfaces the server's {"error": ...} payload.
+func decodeError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e); err == nil && e.Error != "" {
+		return fmt.Errorf("service: server %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("service: server returned %s", resp.Status)
+}
+
+// Submit posts a job and returns its accepted status.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (*JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Get fetches a job's current status.
+func (c *Client) Get(ctx context.Context, id string) (*JobStatus, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel DELETEs a job: an active job is cancelled, a finished one
+// removed. Returns the job's status after the action.
+func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Events follows a job's SSE stream, invoking fn per event, until the
+// job reaches a terminal state (returned), the stream breaks (error),
+// or ctx is cancelled. fn may be nil.
+func (c *Client) Events(ctx context.Context, id string, fn func(Event)) (*JobStatus, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/events"), nil)
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var name string
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		case strings.HasPrefix(line, ":"):
+			// heartbeat comment
+		case line == "" && name != "":
+			var st JobStatus
+			if err := json.Unmarshal(data, &st); err != nil {
+				return nil, fmt.Errorf("service: bad %s event payload: %w", name, err)
+			}
+			ev := Event{Name: name, Status: &st}
+			if fn != nil {
+				fn(ev)
+			}
+			if JobState(name).Terminal() {
+				return &st, nil
+			}
+			name, data = "", nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("service: event stream for %s ended without a terminal event", id)
+}
+
+// Wait runs a job to completion: it follows the event stream (falling
+// back to polling if the stream breaks) and returns the terminal
+// status. progress, when non-nil, receives each progress event.
+func (c *Client) Wait(ctx context.Context, id string, progress func(JobProgress)) (*JobStatus, error) {
+	st, err := c.Events(ctx, id, func(ev Event) {
+		if progress != nil && ev.Name == "progress" && ev.Status.Progress != nil {
+			progress(*ev.Status.Progress)
+		}
+	})
+	if err == nil {
+		return st, nil
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	// Stream broke mid-job (proxy hiccup, server restart of the
+	// listener, ...): poll until terminal.
+	for {
+		st, gerr := c.Get(ctx, id)
+		if gerr != nil {
+			return nil, fmt.Errorf("service: event stream failed (%v); poll failed: %w", err, gerr)
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+// SubmitAndWait submits a job and waits for its terminal state.
+func (c *Client) SubmitAndWait(ctx context.Context, req JobRequest, progress func(JobProgress)) (*JobStatus, error) {
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait(ctx, st.ID, progress)
+}

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the server's observability surface: plain atomics sampled
+// by /v1/stats (per server) and expvar (process-global), so capacity
+// planning is measurement. runsPerSec is maintained by a 1s sampler
+// over runsTotal while the server is started.
+type metrics struct {
+	queued     atomic.Int64 // jobs accepted, cumulative
+	running    atomic.Int64 // jobs running now (gauge)
+	done       atomic.Int64
+	failed     atomic.Int64
+	cancelled  atomic.Int64
+	queueDepth atomic.Int64 // jobs queued but not yet claimed (gauge)
+
+	runsTotal     atomic.Int64 // protocol runs folded across all jobs
+	runsPerSec    atomic.Int64 // sampled once per second
+	graphsRebuilt atomic.Int64 // harvested per finished job from EngineStats
+	graphsRevived atomic.Int64
+}
+
+// snapshot renders every counter for JSON and expvar consumers.
+func (m *metrics) snapshot() map[string]int64 {
+	return map[string]int64{
+		"jobs_queued":    m.queued.Load(),
+		"jobs_running":   m.running.Load(),
+		"jobs_done":      m.done.Load(),
+		"jobs_failed":    m.failed.Load(),
+		"jobs_cancelled": m.cancelled.Load(),
+		"queue_depth":    m.queueDepth.Load(),
+		"runs_total":     m.runsTotal.Load(),
+		"runs_per_sec":   m.runsPerSec.Load(),
+		"graphs_rebuilt": m.graphsRebuilt.Load(),
+		"graphs_revived": m.graphsRevived.Load(),
+	}
+}
+
+// sample updates the runs/s gauge from the runs-total delta since the
+// previous sample, elapsed seconds apart.
+func (m *metrics) sample(prev int64, elapsed time.Duration) int64 {
+	cur := m.runsTotal.Load()
+	if secs := elapsed.Seconds(); secs > 0 {
+		m.runsPerSec.Store(int64(float64(cur-prev) / secs))
+	}
+	return cur
+}
+
+// expvar publication is process-global and append-only, while tests
+// build many servers — so the package publishes one "setconsensusd" Func
+// that reads whichever server registered most recently.
+var (
+	expvarOnce   sync.Once
+	activeServer atomic.Pointer[metrics]
+)
+
+func publishExpvar(m *metrics) {
+	activeServer.Store(m)
+	expvarOnce.Do(func() {
+		expvar.Publish("setconsensusd", expvar.Func(func() any {
+			if m := activeServer.Load(); m != nil {
+				return m.snapshot()
+			}
+			return map[string]int64{}
+		}))
+	})
+}

@@ -1,0 +1,128 @@
+// Package service implements setconsensusd's job layer: a long-running
+// HTTP/JSON server that accepts sweep and analysis jobs over the Engine
+// facade, runs them on a bounded queue with per-job deadlines and a
+// configurable worker pool, streams incremental progress snapshots over
+// SSE, and serves finished Summary/AnalysisReport JSON from a bounded
+// in-memory result store.
+//
+// The package follows the repo's configuration idiom end to end: a typed
+// Params with Default and Validate enforcing hard budgets (max space
+// size per job, queue depth, worker count, per-job deadline, result
+// bound), so a misconfigured server refuses to start instead of failing
+// under load, and an out-of-budget job is rejected at submission with a
+// typed error instead of running away with the machine.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// The typed budget errors. Validate and job admission wrap them with
+// detail, so callers branch with errors.Is while logs keep the numbers.
+var (
+	// ErrNoWorkers rejects a worker pool of zero: a server that can
+	// accept jobs but never run them is a misconfiguration, not a mode.
+	ErrNoWorkers = errors.New("service: need at least one job worker")
+	// ErrNoDeadline rejects an absent per-job deadline. Every job runs
+	// under a context deadline — unbounded jobs would pin worker slots
+	// forever and starve the queue.
+	ErrNoDeadline = errors.New("service: need a positive per-job deadline")
+	// ErrQueueDepth rejects a non-positive queue bound.
+	ErrQueueDepth = errors.New("service: need a positive queue depth")
+	// ErrResultBound rejects a non-positive result-store bound.
+	ErrResultBound = errors.New("service: need a positive result-store bound")
+	// ErrSpaceBudget rejects (at admission) or aborts (at runtime) a job
+	// whose adversary space exceeds MaxSpaceSize.
+	ErrSpaceBudget = errors.New("service: adversary space exceeds the per-job budget")
+)
+
+// Params is the full configuration of a job server. Construct it with
+// Default and override fields; New validates it.
+type Params struct {
+	// Addr is the listen address of cmd/setconsensusd (the embedded
+	// Server itself is transport-agnostic — tests mount Handler on
+	// httptest). Empty is valid for embedded use.
+	Addr string
+
+	// Workers is the number of jobs run concurrently. Each running job
+	// gets its own Engine whose sweep/analysis stages parallelize to
+	// EngineParallelism, so total CPU demand is roughly
+	// Workers × EngineParallelism.
+	Workers int
+
+	// QueueDepth bounds the jobs accepted but not yet running. A full
+	// queue rejects submissions with ErrQueueFull (HTTP 503) instead of
+	// buffering without bound.
+	QueueDepth int
+
+	// MaxSpaceSize is the per-job adversary budget. Jobs whose workload
+	// reports a known count, or an enumeration upper bound
+	// (CountUpperBound — the pre-deduplication size, so size the budget
+	// to the bound, not the canonical count), above this are rejected at
+	// submission; sources that cannot be sized up front are cancelled
+	// mid-run the moment they exceed it. Both paths surface
+	// ErrSpaceBudget.
+	MaxSpaceSize int
+
+	// JobDeadline is the hard per-job context deadline. Requests may ask
+	// for less via timeoutMs, never more.
+	JobDeadline time.Duration
+
+	// ResultBound bounds the finished (done/failed/cancelled) jobs the
+	// store retains, FIFO-evicted; queued and running jobs are always
+	// retained.
+	ResultBound int
+
+	// EngineParallelism is the per-job Engine worker-pool size.
+	EngineParallelism int
+
+	// ProgressInterval throttles the progress snapshots a running job
+	// publishes to its SSE subscribers.
+	ProgressInterval time.Duration
+}
+
+// Default returns the documented defaults: 2 concurrent jobs, a queue of
+// 64, a 1e7-adversary space budget, a 10-minute deadline, 256 retained
+// results, engine parallelism NumCPU, 100ms progress snapshots.
+func Default() Params {
+	return Params{
+		Addr:              ":8372",
+		Workers:           2,
+		QueueDepth:        64,
+		MaxSpaceSize:      10_000_000,
+		JobDeadline:       10 * time.Minute,
+		ResultBound:       256,
+		EngineParallelism: runtime.NumCPU(),
+		ProgressInterval:  100 * time.Millisecond,
+	}
+}
+
+// Validate ensures the parameters fall within operating ranges,
+// wrapping the typed budget errors with the offending values.
+func (p Params) Validate() error {
+	if p.Workers < 1 {
+		return fmt.Errorf("%w (got %d)", ErrNoWorkers, p.Workers)
+	}
+	if p.JobDeadline <= 0 {
+		return fmt.Errorf("%w (got %v)", ErrNoDeadline, p.JobDeadline)
+	}
+	if p.QueueDepth < 1 {
+		return fmt.Errorf("%w (got %d)", ErrQueueDepth, p.QueueDepth)
+	}
+	if p.ResultBound < 1 {
+		return fmt.Errorf("%w (got %d)", ErrResultBound, p.ResultBound)
+	}
+	if p.MaxSpaceSize < 1 {
+		return fmt.Errorf("%w: budget must be ≥ 1 (got %d)", ErrSpaceBudget, p.MaxSpaceSize)
+	}
+	if p.EngineParallelism < 1 {
+		return fmt.Errorf("service: need engine parallelism ≥ 1, got %d", p.EngineParallelism)
+	}
+	if p.ProgressInterval <= 0 {
+		return fmt.Errorf("service: need a positive progress interval, got %v", p.ProgressInterval)
+	}
+	return nil
+}

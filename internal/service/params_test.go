@@ -1,0 +1,71 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default().Validate() = %v", err)
+	}
+}
+
+// TestValidateTypedErrors pins the budget contract: every out-of-range
+// parameter is rejected with its typed error, matchable with errors.Is
+// through the detail wrapping.
+func TestValidateTypedErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+		want   error
+	}{
+		{"zero workers", func(p *Params) { p.Workers = 0 }, ErrNoWorkers},
+		{"negative workers", func(p *Params) { p.Workers = -4 }, ErrNoWorkers},
+		{"absent deadline", func(p *Params) { p.JobDeadline = 0 }, ErrNoDeadline},
+		{"negative deadline", func(p *Params) { p.JobDeadline = -time.Second }, ErrNoDeadline},
+		{"zero queue", func(p *Params) { p.QueueDepth = 0 }, ErrQueueDepth},
+		{"zero results", func(p *Params) { p.ResultBound = 0 }, ErrResultBound},
+		{"zero space budget", func(p *Params) { p.MaxSpaceSize = 0 }, ErrSpaceBudget},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := Default()
+			c.mutate(&p)
+			err := p.Validate()
+			if !errors.Is(err, c.want) {
+				t.Fatalf("Validate() = %v, want errors.Is(%v)", err, c.want)
+			}
+		})
+	}
+	t.Run("zero parallelism", func(t *testing.T) {
+		p := Default()
+		p.EngineParallelism = 0
+		if p.Validate() == nil {
+			t.Fatal("zero engine parallelism must be rejected")
+		}
+	})
+	t.Run("zero progress interval", func(t *testing.T) {
+		p := Default()
+		p.ProgressInterval = 0
+		if p.Validate() == nil {
+			t.Fatal("zero progress interval must be rejected")
+		}
+	})
+}
+
+// TestNewRejectsInvalid pins that a misconfigured server refuses to
+// construct — the error-from-New half of the contract.
+func TestNewRejectsInvalid(t *testing.T) {
+	p := Default()
+	p.Workers = 0
+	if _, err := New(p); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("New with zero workers = %v, want ErrNoWorkers", err)
+	}
+	p = Default()
+	p.JobDeadline = 0
+	if _, err := New(p); !errors.Is(err, ErrNoDeadline) {
+		t.Fatalf("New without a deadline = %v, want ErrNoDeadline", err)
+	}
+}

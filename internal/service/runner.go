@@ -1,0 +1,215 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	setconsensus "setconsensus"
+)
+
+// runner.go executes one admitted job on the Engine facade: it builds a
+// per-job engine from the request's parameters (validated eagerly via
+// NewEngine), runs the sweep or analysis under the job's context
+// deadline, relays the engine's progress snapshots
+// (SweepProgress/AnalysisProgress) into the job's SSE feed, and maps the
+// outcome onto the terminal states.
+
+// engineFor builds the per-job engine. Sweep jobs disable the graph
+// cache: the aggregating path then recycles builder arenas per worker
+// (the revive fast path), which is both the fast configuration for
+// exhaustive spaces and the one that feeds the rebuilt/revived counters.
+func (s *Server) engineFor(req *JobRequest) (*setconsensus.Engine, error) {
+	p := setconsensus.DefaultEngineParams()
+	p.Parallelism = s.params.EngineParallelism
+	if req.Params.K > 0 {
+		p.K = req.Params.K
+	}
+	if req.Params.Backend != "" {
+		b, err := setconsensus.ParseBackend(req.Params.Backend)
+		if err != nil {
+			return nil, err
+		}
+		p.Backend = b
+	}
+	switch {
+	case req.Params.T != nil:
+		p.T = *req.Params.T
+	case req.Kind == KindSweep:
+		// The workload-sweep default, as in the CLIs: each adversary's
+		// own failure count.
+		p.T = setconsensus.PatternCrashBound
+	}
+	if req.Kind == KindSweep {
+		p.GraphCache = 0
+	}
+	return setconsensus.NewEngine(p)
+}
+
+// admit resolves and budget-checks a request before it is queued,
+// returning the resolved source for sweep jobs. Unknown references and
+// over-budget spaces fail here, synchronously, so a bad submission is a
+// 4xx instead of a failed job.
+func (s *Server) admit(req *JobRequest) (setconsensus.Source, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	if _, err := s.engineFor(req); err != nil {
+		return nil, err
+	}
+	if req.Kind == KindAnalysis {
+		if _, err := setconsensus.ParseAnalysis(req.Analysis); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	src, err := setconsensus.ParseWorkload(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	if n, known := src.Count(); known && n > s.params.MaxSpaceSize {
+		return nil, fmt.Errorf("%w: workload %q yields %d adversaries, budget %d",
+			ErrSpaceBudget, req.Workload, n, s.params.MaxSpaceSize)
+	}
+	if b, ok := src.(interface{ CountUpperBound() float64 }); ok {
+		if ub := b.CountUpperBound(); ub > float64(s.params.MaxSpaceSize) {
+			return nil, fmt.Errorf("%w: workload %q enumerates up to %.0f adversaries, budget %d",
+				ErrSpaceBudget, req.Workload, ub, s.params.MaxSpaceSize)
+		}
+	}
+	return src, nil
+}
+
+// deadlineFor picks the job's context deadline: the server's hard bound,
+// tightened by the request's timeoutMs when smaller.
+func (s *Server) deadlineFor(req *JobRequest) time.Duration {
+	d := s.params.JobDeadline
+	if req.Params.TimeoutMS > 0 {
+		if r := time.Duration(req.Params.TimeoutMS) * time.Millisecond; r < d {
+			d = r
+		}
+	}
+	return d
+}
+
+// run executes one claimed job to a terminal state. baseCtx is the
+// server's lifetime context: server shutdown after the drain grace
+// cancels it, which cancels every running job.
+func (s *Server) run(baseCtx context.Context, j *job) {
+	j.setRunning()
+	s.metrics.running.Add(1)
+	defer s.metrics.running.Add(-1)
+
+	jobCtx, cancel := context.WithCancelCause(baseCtx)
+	j.mu.Lock()
+	j.cancel = cancel
+	j.mu.Unlock()
+	ctx, cancelTimeout := context.WithTimeout(jobCtx, s.deadlineFor(&j.req))
+	defer cancelTimeout()
+	defer cancel(nil)
+
+	eng, err := s.engineFor(&j.req)
+	if err != nil {
+		s.finishJob(j, StateFailed, err)
+		return
+	}
+
+	switch j.req.Kind {
+	case KindSweep:
+		err = s.runSweep(ctx, cancel, eng, j)
+	case KindAnalysis:
+		err = s.runAnalysis(ctx, eng, j)
+	default:
+		err = fmt.Errorf("service: unknown job kind %q", j.req.Kind)
+	}
+
+	st := eng.Stats()
+	s.metrics.graphsRebuilt.Add(st.GraphsRebuilt)
+	s.metrics.graphsRevived.Add(st.GraphsRevived)
+
+	switch {
+	case err == nil:
+		s.finishJob(j, StateDone, nil)
+	case errors.Is(context.Cause(ctx), ErrCancelled):
+		s.finishJob(j, StateCancelled, ErrCancelled)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.finishJob(j, StateFailed, fmt.Errorf("service: job deadline exceeded: %w", err))
+	default:
+		if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, err) && !errors.Is(cause, context.Canceled) {
+			err = fmt.Errorf("%w (%v)", cause, err)
+		}
+		s.finishJob(j, StateFailed, err)
+	}
+}
+
+// finishJob applies the terminal transition, updates the store and
+// counters, and lets the metrics loop observe the final run totals.
+func (s *Server) finishJob(j *job, state JobState, err error) {
+	j.finish(state, err)
+	s.store.markFinished(j.id)
+	switch state {
+	case StateDone:
+		s.metrics.done.Add(1)
+	case StateCancelled:
+		s.metrics.cancelled.Add(1)
+	default:
+		s.metrics.failed.Add(1)
+	}
+}
+
+// runSweep streams the workload through the engine's aggregating sweep,
+// relaying SweepProgress snapshots and enforcing the space budget at
+// runtime for sources that could not be sized at admission: the moment
+// the fold passes MaxSpaceSize adversaries, the job's context is
+// cancelled with ErrSpaceBudget.
+func (s *Server) runSweep(ctx context.Context, cancel context.CancelCauseFunc, eng *setconsensus.Engine, j *job) error {
+	src, err := setconsensus.ParseWorkload(j.req.Workload)
+	if err != nil {
+		return err
+	}
+	budget := s.params.MaxSpaceSize
+	var lastRuns int64
+	sum, err := eng.SweepSourceProgress(ctx, j.req.Refs, src, s.params.ProgressInterval,
+		func(p setconsensus.SweepProgress) {
+			if p.Adversaries > budget {
+				cancel(fmt.Errorf("%w: workload %q passed %d adversaries, budget %d",
+					ErrSpaceBudget, j.req.Workload, p.Adversaries, budget))
+			}
+			s.metrics.runsTotal.Add(int64(p.Runs) - lastRuns)
+			lastRuns = int64(p.Runs)
+			j.setProgress(JobProgress{Stage: "sweep", Adversaries: p.Adversaries, Runs: p.Runs, Total: p.Total})
+		})
+	if err != nil {
+		if cause := context.Cause(ctx); cause != nil && errors.Is(cause, ErrSpaceBudget) {
+			return cause
+		}
+		return err
+	}
+	j.mu.Lock()
+	j.summary = sum
+	j.mu.Unlock()
+	return nil
+}
+
+// runAnalysis executes a named analysis, relaying the pipeline's stage
+// snapshots.
+func (s *Server) runAnalysis(ctx context.Context, eng *setconsensus.Engine, j *job) error {
+	var lastDone int
+	var lastStage string
+	rep, err := eng.AnalyzeStream(ctx, j.req.Analysis, func(p setconsensus.AnalysisProgress) {
+		if p.Stage != lastStage {
+			lastStage, lastDone = p.Stage, 0
+		}
+		s.metrics.runsTotal.Add(int64(p.Done - lastDone))
+		lastDone = p.Done
+		j.setProgress(JobProgress{Stage: p.Stage, Done: p.Done, Total: p.Total})
+	})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.analysis = rep
+	j.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+)
+
+// store is the bounded in-memory job index: every job lives here from
+// submission until it is deleted or evicted. Queued and running jobs
+// are always retained; terminal jobs are bounded FIFO (oldest finished
+// evicted first), the service analogue of the engine's insertBounded
+// caches.
+type store struct {
+	mu       sync.Mutex
+	bound    int // retained terminal jobs
+	jobs     map[string]*job
+	order    []string // insertion order, for listings
+	finished []string // terminal ids in finish order, for eviction
+	nextID   int
+}
+
+func newStore(bound int) *store {
+	return &store{bound: bound, jobs: make(map[string]*job)}
+}
+
+// add registers a new job under a fresh monotone id.
+func (s *store) add(j *job) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	j.id = fmt.Sprintf("j-%06d", s.nextID)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	return j.id
+}
+
+// get looks a job up by id.
+func (s *store) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// remove deletes a job outright (DELETE on a terminal job).
+func (s *store) remove(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; !ok {
+		return false
+	}
+	delete(s.jobs, id)
+	s.dropOrderLocked(id)
+	return true
+}
+
+// markFinished records a terminal transition and evicts the oldest
+// finished jobs beyond the bound.
+func (s *store) markFinished(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; !ok {
+		return // removed while running
+	}
+	s.finished = append(s.finished, id)
+	for len(s.finished) > s.bound {
+		victim := s.finished[0]
+		n := copy(s.finished, s.finished[1:])
+		s.finished[n] = ""
+		s.finished = s.finished[:n]
+		delete(s.jobs, victim)
+		s.dropOrderLocked(victim)
+	}
+}
+
+// dropOrderLocked removes id from the listing and finish orders, copying
+// down so evicted ids are not pinned by the backing arrays.
+func (s *store) dropOrderLocked(id string) {
+	for i, v := range s.order {
+		if v == id {
+			n := copy(s.order[i:], s.order[i+1:]) + i
+			s.order[n] = ""
+			s.order = s.order[:n]
+			break
+		}
+	}
+	for i, v := range s.finished {
+		if v == id {
+			n := copy(s.finished[i:], s.finished[i+1:]) + i
+			s.finished[n] = ""
+			s.finished = s.finished[:n]
+			break
+		}
+	}
+}
+
+// list snapshots every retained job's status in submission order.
+func (s *store) list() []*JobStatus {
+	s.mu.Lock()
+	ids := make([]string, len(s.order))
+	copy(ids, s.order)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]*JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# Smoke test for setconsensusd, run by the CI `smoke` job and runnable
+# locally: build the server and the CLI, start the server on a random
+# port, submit a sweep and an analysis job over raw HTTP, poll both to
+# completion, check that `setconsensus -server` output is byte-identical
+# to the local run (analysis output modulo the timing-dependent
+# "stage ..." progress lines), verify the expvar/stats counters are
+# live and moving, and drain gracefully on SIGTERM.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+daemon=""
+cleanup() {
+    [ -n "$daemon" ] && kill "$daemon" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/setconsensusd" ./cmd/setconsensusd
+go build -o "$workdir/setconsensus" ./cmd/setconsensus
+
+json() { python3 -c "import json,sys; print(json.load(sys.stdin)$1)"; }
+
+echo "== start"
+base=""
+for attempt in 1 2 3; do
+    port=$(( (RANDOM % 20000) + 20000 ))
+    addr="127.0.0.1:$port"
+    "$workdir/setconsensusd" -addr "$addr" -workers 2 -deadline 2m \
+        -drain-grace 30s >"$workdir/daemon.log" 2>&1 &
+    daemon=$!
+    for _ in $(seq 1 50); do
+        if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then
+            base="http://$addr"
+            break 2
+        fi
+        if ! kill -0 "$daemon" 2>/dev/null; then
+            daemon=""
+            break # bind failure (port taken): try another port
+        fi
+        sleep 0.1
+    done
+    [ -n "$daemon" ] && kill "$daemon" 2>/dev/null && wait "$daemon" 2>/dev/null || true
+    daemon=""
+done
+if [ -z "$base" ]; then
+    echo "FAIL: server did not come up"
+    cat "$workdir/daemon.log"
+    exit 1
+fi
+echo "   listening on $base"
+
+workload="space:n=4,t=2,r=2,v=0..1"
+analysis="search:optmin:n=3,t=2,r=2,width=2"
+
+echo "== submit jobs"
+sweep_id=$(curl -fsS "$base/v1/jobs" -H 'Content-Type: application/json' -d "{
+    \"kind\":\"sweep\",\"refs\":[\"optmin\",\"upmin\"],
+    \"workload\":\"$workload\",\"params\":{\"t\":2}}" | json '["id"]')
+analysis_id=$(curl -fsS "$base/v1/jobs" -H 'Content-Type: application/json' -d "{
+    \"kind\":\"analysis\",\"analysis\":\"$analysis\"}" | json '["id"]')
+echo "   sweep=$sweep_id analysis=$analysis_id"
+
+echo "== expvar live while jobs are in flight"
+curl -fsS "$base/debug/vars" | python3 -c '
+import json, sys
+m = json.load(sys.stdin)["setconsensusd"]
+for k in ("jobs_queued", "jobs_running", "jobs_done", "queue_depth",
+          "runs_total", "runs_per_sec", "graphs_rebuilt", "graphs_revived"):
+    assert k in m, f"expvar missing {k}: {m}"
+assert m["jobs_queued"] >= 2, m
+print("   expvar ok:", {k: m[k] for k in sorted(m)})
+'
+
+poll() {
+    local id=$1 state
+    for _ in $(seq 1 600); do
+        state=$(curl -fsS "$base/v1/jobs/$id" | json '["state"]')
+        case "$state" in done|failed|cancelled) echo "$state"; return ;; esac
+        sleep 0.1
+    done
+    echo timeout
+}
+
+echo "== poll to completion"
+for id in "$sweep_id" "$analysis_id"; do
+    state=$(poll "$id")
+    if [ "$state" != done ]; then
+        echo "FAIL: job $id finished '$state'"
+        curl -fsS "$base/v1/jobs/$id"
+        exit 1
+    fi
+    echo "   $id done"
+done
+
+echo "== CLI parity: local output == -server output"
+"$workdir/setconsensus" -protocol optmin,upmin -t 2 -workload "$workload" \
+    >"$workdir/sweep-local.txt"
+"$workdir/setconsensus" -server "$base" -protocol optmin,upmin -t 2 \
+    -workload "$workload" >"$workdir/sweep-remote.txt"
+diff -u "$workdir/sweep-local.txt" "$workdir/sweep-remote.txt"
+echo "   sweep output identical"
+
+"$workdir/setconsensus" -analyze "$analysis" | grep -v '^stage ' \
+    >"$workdir/analysis-local.txt"
+"$workdir/setconsensus" -server "$base" -analyze "$analysis" | grep -v '^stage ' \
+    >"$workdir/analysis-remote.txt"
+diff -u "$workdir/analysis-local.txt" "$workdir/analysis-remote.txt"
+echo "   analysis output identical (modulo stage progress lines)"
+
+echo "== stats counters moved"
+curl -fsS "$base/v1/stats" | python3 -c '
+import json, sys
+s = json.load(sys.stdin)
+assert s["jobs_done"] >= 4, s   # 2 curl jobs + 2 -server jobs
+assert s["jobs_failed"] == 0 and s["jobs_cancelled"] == 0, s
+assert s["runs_total"] > 0, s
+print("   stats ok:", s)
+'
+
+echo "== SIGTERM graceful drain"
+kill -TERM "$daemon"
+for _ in $(seq 1 100); do
+    kill -0 "$daemon" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$daemon" 2>/dev/null; then
+    echo "FAIL: daemon still alive 10s after SIGTERM"
+    exit 1
+fi
+daemon=""
+grep -q "drained" "$workdir/daemon.log" || {
+    echo "FAIL: no drain log line"
+    cat "$workdir/daemon.log"
+    exit 1
+}
+echo "smoke ok"

@@ -72,6 +72,16 @@ func SpaceSource(s Space) (Source, error) {
 
 func (s *spaceSource) Label() string      { return s.space.Label() }
 func (s *spaceSource) Count() (int, bool) { return 0, false }
+
+// CountUpperBound reports the space's pre-deduplication size bound
+// (Space.CountUpperBound). Admission controllers — the job service's
+// max-space budget — discover it through the optional
+//
+//	interface{ CountUpperBound() float64 }
+//
+// so unknown-count sources can still be bounded before a single
+// adversary is enumerated.
+func (s *spaceSource) CountUpperBound() float64 { return s.space.CountUpperBound() }
 func (s *spaceSource) Seq() iter.Seq[*Adversary] {
 	return func(yield func(*Adversary) bool) {
 		for _, a := range s.space.All() {
