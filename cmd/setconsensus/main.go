@@ -35,6 +35,16 @@
 //	setconsensus -server http://127.0.0.1:8372 -protocol optmin -t 2 \
 //	    -workload "space:n=4,t=2,r=2,v=0..1"
 //
+//	# Coordinate the sweep across 4 local workers with checkpointed
+//	# resume: killed mid-flight, the same invocation picks up where the
+//	# checkpoint left off, and the final table is byte-identical to the
+//	# single-process run. -join enlists setconsensusd servers as extra
+//	# workers via range-scoped jobs.
+//	setconsensus -coordinate -workers 4 -checkpoint sweep.ckpt \
+//	    -protocol optmin -t 2 -workload "space:n=4,t=2,r=2,v=0..1"
+//	setconsensus -coordinate -join http://10.0.0.2:8372,http://10.0.0.3:8372 \
+//	    -protocol optmin -t 2 -workload "space:n=4,t=2,r=2,v=0..1"
+//
 // Crash syntax: "p@r:a,b" crashes process p in round r delivering only to
 // a and b; "p@r:" is a silent crash; "p@r:*" is a complete send. Multiple
 // crashes are separated by ';'. Workload syntax: "name" or
@@ -63,6 +73,12 @@ func main() {
 	inputsFlag := flag.String("inputs", "", "comma-separated initial values (single-run mode)")
 	crashFlag := flag.String("crash", "", "crash spec, e.g. \"1@1:2;3@2:*\" (single-run mode)")
 	workload := flag.String("workload", "", "named workload to sweep, e.g. \"collapse:k=3,r=2..6\" (see -list-workloads)")
+	coordinate := flag.Bool("coordinate", false, "shard the -workload sweep across workers with leases and checkpointed resume")
+	workers := flag.Int("workers", 0, "coordinated sweep: number of in-process engine workers (default 2 when -join is empty)")
+	join := flag.String("join", "", "coordinated sweep: comma-separated setconsensusd base URLs to enlist as remote workers")
+	checkpoint := flag.String("checkpoint", "", "coordinated sweep: checkpoint file; written atomically per completed range, resumed from when it exists")
+	rangeSize := flag.Int("range-size", 0, "coordinated sweep: adversaries per work range (0 = default)")
+	lease := flag.Duration("lease", 0, "coordinated sweep: per-range worker lease before re-issue (0 = default)")
 	analyze := flag.String("analyze", "", "named analysis to run, e.g. \"search:optmin:width=2\" or \"forced:k=3\" (see -list-analyses)")
 	server := flag.String("server", "", "setconsensusd base URL; -workload/-analyze submit as remote jobs, e.g. http://127.0.0.1:8372")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); exits 130 on expiry, like SIGINT/SIGTERM")
@@ -137,6 +153,9 @@ func main() {
 	if len(refs) == 0 {
 		fatal(fmt.Errorf("need -protocol"))
 	}
+	if *coordinate && *workload == "" {
+		fatal(fmt.Errorf("-coordinate requires -workload"))
+	}
 
 	if *workload != "" {
 		if *inputsFlag != "" || *crashFlag != "" {
@@ -144,9 +163,25 @@ func main() {
 		}
 		var sum *setconsensus.Summary
 		var err error
-		if *server != "" {
+		switch {
+		case *coordinate:
+			if *server != "" {
+				fatal(fmt.Errorf("-coordinate runs the coordinator here; enlist servers with -join, not -server"))
+			}
+			opts := cli.CoordinateOpts{
+				Workers:    *workers,
+				Join:       cli.SplitList(*join),
+				Checkpoint: *checkpoint,
+				RangeSize:  *rangeSize,
+				Lease:      *lease,
+			}
+			if opts.Workers == 0 && len(opts.Join) == 0 {
+				opts.Workers = 2
+			}
+			sum, err = cli.CoordinateWorkload(ctx, os.Stdout, *workload, refs, backend, *k, *t, opts)
+		case *server != "":
 			sum, err = cli.SweepWorkloadRemote(ctx, os.Stdout, *server, *workload, refs, backend, *k, *t)
-		} else {
+		default:
 			sum, err = cli.SweepWorkload(ctx, os.Stdout, *workload, refs, backend, *k, *t)
 		}
 		if err != nil {

@@ -12,9 +12,17 @@
 //	GET    /v1/jobs/{id}/events SSE progress stream (terminal event closes it)
 //	DELETE /v1/jobs/{id}        cancel an active job / remove a finished one
 //	GET    /v1/stats            service counters (queue depth, runs/s, ...)
+//	GET    /metrics             the same counters in Prometheus text exposition
 //	GET    /healthz             liveness
 //	GET    /debug/vars          expvar (includes the "setconsensusd" map)
 //	GET    /debug/pprof/        pprof profiles
+//
+// Sweep jobs may carry an offset window ({"offset": O, "limit": L}) to
+// run only the range [O, O+L) of the workload's enumeration order —
+// the work unit `setconsensus -coordinate -join` fans out across
+// servers. Range-scoped jobs are admitted against -max-space by their
+// window, not the full space, so a fleet can collectively sweep a
+// space far beyond any single server's per-job budget.
 //
 // Every budget is a flag: worker count, queue depth, per-job deadline,
 // max adversary space per job, retained results. SIGINT/SIGTERM drain

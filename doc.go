@@ -174,9 +174,43 @@
 // stream the same way. `setconsensus -server URL` submits sweeps and
 // analyses as remote jobs and renders the returned result through the
 // identical table path, byte-for-byte. internal/service holds the
-// embeddable Server and Client; /debug/vars (expvar) and /debug/pprof
-// expose counters (queue depth, runs/s, graphs revived vs rebuilt) and
-// profiles.
+// embeddable Server and Client; /debug/vars (expvar), GET /metrics
+// (Prometheus text exposition), and /debug/pprof expose counters
+// (queue depth, runs/s, graphs revived vs rebuilt, run-kit and chunk
+// pool hit rates) and profiles.
+//
+// # Distributed Sweeps
+//
+// One exhaustive sweep can be sharded across many workers through the
+// internal/coord coordinator (CLI surface: setconsensus -coordinate).
+// Its vocabulary:
+//
+//	range       a window [offset, offset+limit) of the workload's
+//	            canonical enumeration order — the unit of distribution,
+//	            swept via RangeSource
+//	lease       a time-bounded grant of one range to one worker; an
+//	            expired lease (stalled or vanished worker) is re-issued,
+//	            and duplicate completions merge idempotently by offset
+//	checkpoint  the coordinator's state — done ranges with their partial
+//	            Summaries, pending ranges with attempt counts, the
+//	            enumeration frontier — written atomically to a JSON file
+//	            after every completed range
+//	resume      re-running the same invocation against an existing
+//	            checkpoint: the file is validated against the workload,
+//	            protocol refs, and range size, finished ranges are
+//	            merged without re-sweeping, and only unfinished ranges
+//	            run
+//
+// Workers come in two transports behind one interface: in-process
+// Engines sweeping RangeSource windows, and setconsensusd servers
+// (-join) receiving range-scoped jobs — a JobRequest carrying offset
+// and limit, admitted against the server's space budget by the window
+// rather than the full space, so a fleet collectively sweeps spaces no
+// single server would admit. Because Summary.Merge is associative and
+// commutative and the enumeration order is canonical, any partition of
+// the offset space merges to the byte-identical monolithic summary
+// (pinned by TestRangePartitionEquivalence); kill-and-resume
+// byte-equality is drilled end-to-end by scripts/smoke_coord.sh in CI.
 //
 // # Performance
 //

@@ -64,6 +64,17 @@ type Engine struct {
 	statBuilt   atomic.Int64
 	statRevived atomic.Int64
 
+	// Pool hit-rate counters: a hit is a Get served from the pool, a miss
+	// a fresh allocation. statKit* meters the per-worker runKit pool
+	// (RunBuffer + builder arena — the expensive warm-up state), statChunk*
+	// the feeder's sweepChunk pool. Under GC pressure sync.Pool sheds its
+	// contents, so a falling hit rate is the observable symptom of pooled
+	// sweeps losing their warm buffers.
+	statKitHit    atomic.Int64
+	statKitMiss   atomic.Int64
+	statChunkHit  atomic.Int64
+	statChunkMiss atomic.Int64
+
 	mu         sync.Mutex
 	graphs     map[graphKey]*knowledge.Graph
 	graphOrder []graphKey // FIFO eviction
@@ -332,10 +343,20 @@ func (e *Engine) CachedGraphs() int {
 // builds versus same-pattern revives on the arena-recycling path (graph
 // cache disabled, and every analysis compile stage); CachedGraphs is the
 // current cache population on the caching path.
+// The pool hit-rate pairs meter the two sync.Pools behind aggregating
+// sweeps: RunKitHits/RunKitMisses count per-worker runKit (RunBuffer +
+// builder arena) checkouts served warm from the pool versus freshly
+// allocated, and ChunkHits/ChunkMisses the same for the feeder's
+// sweepChunk arrays. A steady sweep's hit rate converges to ~1; misses
+// growing mid-sweep mean the GC is shedding pooled buffers.
 type EngineStats struct {
 	GraphsRebuilt int64 `json:"graphsRebuilt"`
 	GraphsRevived int64 `json:"graphsRevived"`
 	CachedGraphs  int   `json:"cachedGraphs"`
+	RunKitHits    int64 `json:"runKitHits"`
+	RunKitMisses  int64 `json:"runKitMisses"`
+	ChunkHits     int64 `json:"chunkHits"`
+	ChunkMisses   int64 `json:"chunkMisses"`
 }
 
 // Stats snapshots the engine's counters. Worker-local builder counts
@@ -346,6 +367,10 @@ func (e *Engine) Stats() EngineStats {
 		GraphsRebuilt: e.statBuilt.Load(),
 		GraphsRevived: e.statRevived.Load(),
 		CachedGraphs:  e.CachedGraphs(),
+		RunKitHits:    e.statKitHit.Load(),
+		RunKitMisses:  e.statKitMiss.Load(),
+		ChunkHits:     e.statChunkHit.Load(),
+		ChunkMisses:   e.statChunkMiss.Load(),
 	}
 }
 
@@ -487,12 +512,18 @@ type sweepChunk struct {
 	advs []*Adversary
 }
 
-var chunkPool = sync.Pool{New: func() any { return new(sweepChunk) }}
+var chunkPool sync.Pool // holds *sweepChunk; Get returns nil on a miss
 
 // newChunk takes a pooled chunk ready to hold size adversaries starting
-// at global index base.
-func newChunk(base, size int) *sweepChunk {
-	c := chunkPool.Get().(*sweepChunk)
+// at global index base, metering the engine's chunk-pool hit rate.
+func (e *Engine) newChunk(base, size int) *sweepChunk {
+	c, _ := chunkPool.Get().(*sweepChunk)
+	if c == nil {
+		c = new(sweepChunk)
+		e.statChunkMiss.Add(1)
+	} else {
+		e.statChunkHit.Add(1)
+	}
 	c.base = base
 	if cap(c.advs) < size {
 		c.advs = make([]*Adversary, 0, size)
@@ -588,7 +619,7 @@ func (e *Engine) sweepExec(ctx context.Context, refs []string, src Source, body 
 		}
 		for adv := range src.Seq() {
 			if chunk == nil {
-				chunk = newChunk(next, chunkSize)
+				chunk = e.newChunk(next, chunkSize)
 			}
 			chunk.advs = append(chunk.advs, adv)
 			next++
@@ -669,6 +700,9 @@ func (e *Engine) getKit(recycleGraphs bool) *runKit {
 	kit, _ := e.kits.Get().(*runKit)
 	if kit == nil {
 		kit = &runKit{buf: NewRunBuffer()}
+		e.statKitMiss.Add(1)
+	} else {
+		e.statKitHit.Add(1)
 	}
 	if recycleGraphs && kit.builder == nil {
 		kit.builder = knowledge.NewBuilder()

@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	setconsensus "setconsensus"
+	"setconsensus/internal/coord"
 	"setconsensus/internal/service"
 )
 
@@ -66,6 +68,89 @@ func SweepWorkload(ctx context.Context, w io.Writer, workloadRef string, refs []
 	)
 	sum, err := eng.SweepSource(ctx, refs, src)
 	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, setconsensus.SummaryTable(sum).Render())
+	return sum, nil
+}
+
+// CoordinateOpts configures a coordinated (sharded, checkpointed)
+// workload sweep.
+type CoordinateOpts struct {
+	// Workers is the number of in-process engine workers (each with its
+	// own Engine over the shared workload source).
+	Workers int
+	// Join lists setconsensusd base URLs to enlist as remote workers;
+	// each receives range-scoped sweep jobs.
+	Join []string
+	// Checkpoint, when non-empty, enables durable resume: state is
+	// written atomically to this file on every completed range, and an
+	// existing file is resumed from.
+	Checkpoint string
+	// RangeSize overrides the adversaries-per-range default (0 = keep).
+	RangeSize int
+	// Lease overrides the per-range lease duration (0 = keep).
+	Lease time.Duration
+}
+
+// CoordinateWorkload is SweepWorkload run through the internal/coord
+// coordinator: the workload's offset space is carved into ranges,
+// leased to the in-process and remote workers, and the partial
+// summaries merge into the exact summary — and the exact rendered
+// table — the monolithic sweep produces. On cancellation the error is
+// returned after a final checkpoint, so re-running the same invocation
+// resumes instead of restarting.
+func CoordinateWorkload(ctx context.Context, w io.Writer, workloadRef string, refs []string, backend setconsensus.BackendKind, k, t int, opts CoordinateOpts) (*setconsensus.Summary, error) {
+	src, err := setconsensus.ParseWorkload(workloadRef)
+	if err != nil {
+		return nil, err
+	}
+	p := coord.Default()
+	if opts.RangeSize > 0 {
+		p.RangeSize = opts.RangeSize
+	}
+	if opts.Lease > 0 {
+		p.Lease = opts.Lease
+	}
+	p.CheckpointPath = opts.Checkpoint
+	if n, known := src.Count(); known {
+		p.Total = n
+	}
+	c, err := coord.New(src.Label(), refs, p)
+	if err != nil {
+		return nil, err
+	}
+
+	tLocal := t
+	if tLocal < 0 {
+		tLocal = setconsensus.PatternCrashBound // the workload-sweep default, as in SweepWorkload
+	}
+	var workers []coord.Worker
+	for i := 0; i < opts.Workers; i++ {
+		eng := setconsensus.New(
+			setconsensus.WithBackend(backend),
+			setconsensus.WithCrashBound(tLocal),
+			setconsensus.WithDegree(k),
+		)
+		workers = append(workers, coord.NewEngineWorker(fmt.Sprintf("local-%d", i), eng, refs, src, 0))
+	}
+	for i, base := range opts.Join {
+		workers = append(workers, coord.NewRemoteWorker(fmt.Sprintf("remote-%d(%s)", i, base), base,
+			service.JobRequest{
+				Refs:     refs,
+				Workload: workloadRef,
+				Params:   jobParams(backend, k, t), // t < 0 by omission: the server's own sweep default
+			}))
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("coordinated sweep needs -workers and/or -join")
+	}
+
+	sum, err := c.Run(ctx, workers, nil)
+	if err != nil {
+		if Cancelled(err) && opts.Checkpoint != "" {
+			fmt.Fprintf(w, "sweep interrupted; checkpoint saved to %s — re-run to resume\n", opts.Checkpoint)
+		}
 		return nil, err
 	}
 	fmt.Fprintln(w, setconsensus.SummaryTable(sum).Render())

@@ -53,3 +53,34 @@ func TestSweepWorkloadRendersTable(t *testing.T) {
 		t.Errorf("table output missing expected content:\n%s", out)
 	}
 }
+
+// TestCoordinateWorkloadMatchesSweep pins the coordinated sweep's user
+// contract: for the same reference, `-coordinate` renders the exact
+// table the single-process sweep renders.
+func TestCoordinateWorkloadMatchesSweep(t *testing.T) {
+	const ref = "space:n=3,t=1,r=2,v=0..1"
+	refs := []string{"optmin", "floodmin"}
+
+	var mono strings.Builder
+	if _, err := SweepWorkload(context.Background(), &mono, ref, refs, setconsensus.Oracle, 1, -1); err != nil {
+		t.Fatal(err)
+	}
+	var coordOut strings.Builder
+	if _, err := CoordinateWorkload(context.Background(), &coordOut, ref, refs, setconsensus.Oracle, 1, -1,
+		CoordinateOpts{Workers: 2, RangeSize: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if mono.String() != coordOut.String() {
+		t.Errorf("coordinated table differs from monolithic:\n--- coordinated ---\n%s--- monolithic ---\n%s",
+			coordOut.String(), mono.String())
+	}
+}
+
+// TestCoordinateWorkloadNeedsWorkers: zero workers and no joined
+// servers is a bad invocation, not a hang.
+func TestCoordinateWorkloadNeedsWorkers(t *testing.T) {
+	if _, err := CoordinateWorkload(context.Background(), io.Discard, "space:n=3,t=1,r=2,v=0..1",
+		[]string{"optmin"}, setconsensus.Oracle, 1, -1, CoordinateOpts{}); err == nil {
+		t.Fatal("coordinated sweep with no workers succeeded")
+	}
+}

@@ -1,0 +1,168 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	setconsensus "setconsensus"
+)
+
+// checkpointVersion guards the on-disk schema.
+const checkpointVersion = 1
+
+// checkpointDone is one completed range in the checkpoint file.
+type checkpointDone struct {
+	Range
+	Count   int                   `json:"count"`
+	Summary *setconsensus.Summary `json:"summary"`
+}
+
+// checkpointPending is one not-yet-completed range. Leases are
+// deliberately not persisted: on resume every outstanding range is
+// pending again (at-least-once semantics make the re-run harmless), but
+// the attempt count survives so a poisoned range still hits MaxAttempts
+// across restarts.
+type checkpointPending struct {
+	Range
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// checkpoint is the coordinator's durable state. Workload, Refs, and
+// RangeSize identify the sweep; resuming under different ones is
+// rejected, since ranges from differently-sized partitions don't tile.
+type checkpoint struct {
+	Version   int                 `json:"version"`
+	Workload  string              `json:"workload"`
+	Refs      []string            `json:"refs"`
+	RangeSize int                 `json:"rangeSize"`
+	Next      int                 `json:"nextOffset"`
+	Exhausted bool                `json:"exhausted,omitempty"`
+	End       int                 `json:"end,omitempty"`
+	Done      []checkpointDone    `json:"done"`
+	Pending   []checkpointPending `json:"pending"`
+}
+
+// writeCheckpointLocked atomically persists the current state: marshal,
+// write to a temp file in the same directory, rename over the target.
+// A crash at any point leaves either the previous checkpoint or the new
+// one, never a torn file. No-op without a configured path.
+func (c *Coordinator) writeCheckpointLocked() error {
+	if c.params.CheckpointPath == "" {
+		return nil
+	}
+	cp := checkpoint{
+		Version:   checkpointVersion,
+		Workload:  c.workload,
+		Refs:      c.refs,
+		RangeSize: c.params.RangeSize,
+		Next:      c.next,
+		Exhausted: c.exhausted,
+		End:       c.end,
+		Done:      make([]checkpointDone, 0, len(c.done)),
+		Pending:   make([]checkpointPending, 0, len(c.pending)+len(c.leased)),
+	}
+	offs := make([]int, 0, len(c.done))
+	for off := range c.done {
+		offs = append(offs, off)
+	}
+	sort.Ints(offs)
+	for _, off := range offs {
+		d := c.done[off]
+		cp.Done = append(cp.Done, checkpointDone{Range: d.Range, Count: d.Count, Summary: d.Summary})
+	}
+	// Outstanding = queued + leased: a lease does not survive the
+	// process, so it checkpoints as pending work.
+	for _, rs := range c.pending {
+		cp.Pending = append(cp.Pending, checkpointPending{Range: rs.Range, Attempts: rs.attempts})
+	}
+	for _, rs := range c.leased {
+		cp.Pending = append(cp.Pending, checkpointPending{Range: rs.Range, Attempts: rs.attempts})
+	}
+	sort.Slice(cp.Pending, func(i, j int) bool { return cp.Pending[i].Offset < cp.Pending[j].Offset })
+
+	blob, err := json.Marshal(&cp)
+	if err != nil {
+		return fmt.Errorf("coord: marshaling checkpoint: %w", err)
+	}
+	dir, base := filepath.Split(c.params.CheckpointPath)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("coord: checkpoint temp file: %w", err)
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("coord: writing checkpoint: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), c.params.CheckpointPath); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("coord: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint resumes the coordinator from path. A missing file is a
+// fresh start, not an error; an unreadable or mismatched one is.
+func (c *Coordinator) loadCheckpoint(path string) error {
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("coord: reading checkpoint: %w", err)
+	}
+	var cp checkpoint
+	if err := json.Unmarshal(blob, &cp); err != nil {
+		return fmt.Errorf("coord: parsing checkpoint %s: %w", path, err)
+	}
+	if cp.Version != checkpointVersion {
+		return fmt.Errorf("coord: checkpoint %s has version %d, want %d", path, cp.Version, checkpointVersion)
+	}
+	if cp.Workload != c.workload {
+		return fmt.Errorf("coord: checkpoint %s is for workload %q, not %q", path, cp.Workload, c.workload)
+	}
+	if !equalStrings(cp.Refs, c.refs) {
+		return fmt.Errorf("coord: checkpoint %s is for refs %v, not %v", path, cp.Refs, c.refs)
+	}
+	if cp.RangeSize != c.params.RangeSize {
+		return fmt.Errorf("coord: checkpoint %s uses range size %d, not %d", path, cp.RangeSize, c.params.RangeSize)
+	}
+	c.next = cp.Next
+	c.exhausted = cp.Exhausted
+	c.end = cp.End
+	for i := range cp.Done {
+		d := cp.Done[i]
+		if d.Summary == nil {
+			return fmt.Errorf("coord: checkpoint %s: done range %s has no summary", path, d.Range)
+		}
+		c.done[d.Offset] = &doneRange{Range: d.Range, Count: d.Count, Summary: d.Summary}
+		c.doneAdv += d.Count
+		c.doneRuns += d.Summary.Runs()
+	}
+	for _, p := range cp.Pending {
+		if _, dup := c.done[p.Offset]; dup {
+			continue
+		}
+		c.pending = append(c.pending, &rangeState{Range: p.Range, attempts: p.Attempts})
+	}
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

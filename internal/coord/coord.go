@@ -1,0 +1,502 @@
+// Package coord implements distributed checkpointed sweeps: a
+// coordinator that shards one exhaustive adversary space across workers
+// by offset range, hands out time-bounded leases, merges the returned
+// partial Summaries, and checkpoints its state as atomic JSON so a
+// killed sweep resumes where it left off.
+//
+// # Vocabulary
+//
+// A range is the unit of work: the window [offset, offset+limit) of a
+// workload's deterministic enumeration order, exactly what
+// enum.Space.Range and setconsensus.RangeSource yield. Ranges are
+// minted lazily — the coordinator does not need to know the space's
+// size up front; a range that comes back with fewer adversaries than
+// its limit pins the end of the space.
+//
+// A lease is a time-bounded claim on one range by one worker. A lease
+// that expires before its result arrives puts the range back in the
+// pending queue for re-issue; semantics are at-least-once, and
+// completions deduplicate by range offset, so a slow worker's late
+// result and a re-issue's result merge exactly once.
+//
+// A checkpoint is the coordinator's durable state: the merged Summary
+// of every completed range plus the pending set (leases are deliberately
+// not persisted — on resume every outstanding range is pending again).
+// Checkpoints are written atomically (temp file + rename) on every
+// completion, so a SIGKILL at any instant leaves a loadable file.
+//
+// Resume is New with a CheckpointPath whose file exists: the
+// coordinator validates that workload, refs, and range size match, then
+// continues from the recorded frontier. The final merged Summary is
+// byte-identical to a single-process Engine.SweepSource over the whole
+// workload, because Summary.Merge is associative and commutative over
+// the partition.
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	setconsensus "setconsensus"
+	"setconsensus/internal/agg"
+)
+
+// Range is the unit of distributed work: the window
+// [Offset, Offset+Limit) of the workload's enumeration order.
+type Range struct {
+	Offset int `json:"offset"`
+	Limit  int `json:"limit"`
+}
+
+func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.Offset, r.Offset+r.Limit) }
+
+// Params configures a Coordinator.
+type Params struct {
+	// RangeSize is the number of adversaries per minted range. Resume
+	// requires the same size the checkpoint was written with.
+	RangeSize int
+	// Lease bounds how long a worker may hold a range before it is
+	// re-issued to another worker.
+	Lease time.Duration
+	// MaxAttempts bounds how many times one range may be issued (first
+	// grant included) before the sweep fails. Lease expiries count.
+	MaxAttempts int
+	// RetryBackoff delays the re-issue of a failed range; the delay
+	// scales linearly with the attempt count.
+	RetryBackoff time.Duration
+	// CheckpointPath, when non-empty, enables durable state: the file is
+	// loaded on New when it exists (resume) and written atomically on
+	// every range completion.
+	CheckpointPath string
+	// ProgressInterval throttles the aggregated progress feed.
+	ProgressInterval time.Duration
+	// Total is the workload's adversary count when known up front
+	// (0 = unknown); it only feeds progress snapshots.
+	Total int
+}
+
+// Default returns the coordinator defaults; RangeSize suits spaces of
+// thousands of adversaries, tune down for coarse fault-injection tests.
+func Default() Params {
+	return Params{
+		RangeSize:        256,
+		Lease:            30 * time.Second,
+		MaxAttempts:      3,
+		RetryBackoff:     250 * time.Millisecond,
+		ProgressInterval: 100 * time.Millisecond,
+	}
+}
+
+// Validate rejects unusable parameter combinations.
+func (p Params) Validate() error {
+	if p.RangeSize <= 0 {
+		return fmt.Errorf("coord: range size %d, want > 0", p.RangeSize)
+	}
+	if p.Lease <= 0 {
+		return fmt.Errorf("coord: lease %v, want > 0", p.Lease)
+	}
+	if p.MaxAttempts <= 0 {
+		return fmt.Errorf("coord: max attempts %d, want > 0", p.MaxAttempts)
+	}
+	if p.RetryBackoff < 0 {
+		return fmt.Errorf("coord: negative retry backoff %v", p.RetryBackoff)
+	}
+	if p.Total < 0 {
+		return fmt.Errorf("coord: negative total %d", p.Total)
+	}
+	return nil
+}
+
+// rangeState tracks one minted, not-yet-completed range through the
+// pending → leased (→ pending …) lifecycle. One record exists per
+// offset; a re-issued range reuses it, so the attempt count survives
+// lease turnover.
+type rangeState struct {
+	Range
+	attempts  int       // grants so far, bounded by MaxAttempts
+	notBefore time.Time // earliest re-issue after a failure
+	worker    string    // current leaseholder, "" when pending
+	expiry    time.Time // lease expiry when leased
+	liveAdv   int       // leaseholder's latest progress snapshot
+	liveRuns  int
+}
+
+// doneRange is one completed range: its summary and the adversary count
+// it actually contained (short count = the space ended inside it).
+type doneRange struct {
+	Range
+	Count   int
+	Summary *setconsensus.Summary
+}
+
+// Coordinator shards one workload across workers. Build with New, run
+// with Run; a Coordinator is single-use.
+type Coordinator struct {
+	params   Params
+	workload string // workload reference; also the merged Summary's label
+	refs     []string
+
+	mu        sync.Mutex
+	next      int                 // next unminted offset
+	exhausted bool                // the space's end has been observed
+	end       int                 // space size, valid once exhausted
+	pending   []*rangeState       // claimable (possibly backoff-delayed), any order
+	leased    map[int]*rangeState // offset → outstanding lease
+	done      map[int]*doneRange  // offset → completed range
+	doneAdv   int                 // adversaries across done ranges
+	doneRuns  int                 // runs across done ranges
+	fatal     error               // first unrecoverable error
+	lastEmit  time.Time           // progress throttle
+	progress  func(setconsensus.SweepProgress)
+	cancel    context.CancelFunc // cancels the run on fatal
+}
+
+// New builds a coordinator for one workload. workload is both the
+// reference remote workers submit and the label of the merged Summary —
+// pass the same string a single-process `-workload` run would use, so
+// the merged result is byte-identical to the monolithic one. When
+// p.CheckpointPath names an existing file, the coordinator resumes from
+// it (and rejects a checkpoint written for a different workload, ref
+// set, or range size).
+func New(workload string, refs []string, p Params) (*Coordinator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if workload == "" {
+		return nil, fmt.Errorf("coord: empty workload reference")
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("coord: no protocol refs")
+	}
+	c := &Coordinator{
+		params:   p,
+		workload: workload,
+		refs:     append([]string(nil), refs...),
+		leased:   make(map[int]*rangeState),
+		done:     make(map[int]*doneRange),
+	}
+	if p.CheckpointPath != "" {
+		if err := c.loadCheckpoint(p.CheckpointPath); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// claimPoll bounds how often a waiting worker rescans for expired
+// leases and matured backoffs.
+func (c *Coordinator) claimPoll() time.Duration {
+	poll := c.params.Lease / 4
+	if poll > 50*time.Millisecond {
+		poll = 50 * time.Millisecond
+	}
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	return poll
+}
+
+// claim hands worker the next range: an expired or matured pending
+// range first, else a freshly minted one. It blocks (polling) while
+// every candidate is leased out or backing off, returns ok=false when
+// the sweep is complete, and an error when the run is cancelled or has
+// failed fatally.
+func (c *Coordinator) claim(ctx context.Context, worker string) (*rangeState, bool, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		c.mu.Lock()
+		if c.fatal != nil {
+			err := c.fatal
+			c.mu.Unlock()
+			return nil, false, err
+		}
+		now := time.Now()
+		c.expireLeasesLocked(now)
+		if rs := c.takePendingLocked(now); rs != nil {
+			c.grantLocked(rs, worker, now)
+			c.mu.Unlock()
+			return rs, true, nil
+		}
+		if !c.exhausted {
+			rs := &rangeState{Range: Range{Offset: c.next, Limit: c.params.RangeSize}}
+			c.next += c.params.RangeSize
+			c.grantLocked(rs, worker, now)
+			c.mu.Unlock()
+			return rs, true, nil
+		}
+		idle := len(c.leased) == 0 && len(c.pending) == 0
+		c.mu.Unlock()
+		if idle {
+			return nil, false, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		case <-time.After(c.claimPoll()):
+		}
+	}
+}
+
+// expireLeasesLocked returns every expired lease to the pending queue.
+func (c *Coordinator) expireLeasesLocked(now time.Time) {
+	for off, rs := range c.leased {
+		if now.After(rs.expiry) {
+			rs.worker, rs.liveAdv, rs.liveRuns = "", 0, 0
+			delete(c.leased, off)
+			c.pending = append(c.pending, rs)
+		}
+	}
+}
+
+// takePendingLocked removes and returns the lowest-offset pending range
+// whose backoff has matured, or nil.
+func (c *Coordinator) takePendingLocked(now time.Time) *rangeState {
+	best := -1
+	for i, rs := range c.pending {
+		if rs.notBefore.After(now) {
+			continue
+		}
+		if best < 0 || rs.Offset < c.pending[best].Offset {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	rs := c.pending[best]
+	c.pending = append(c.pending[:best], c.pending[best+1:]...)
+	return rs
+}
+
+// grantLocked leases rs to worker and counts the attempt.
+func (c *Coordinator) grantLocked(rs *rangeState, worker string, now time.Time) {
+	rs.attempts++
+	rs.worker = worker
+	rs.expiry = now.Add(c.params.Lease)
+	rs.liveAdv, rs.liveRuns = 0, 0
+	c.leased[rs.Offset] = rs
+}
+
+// complete records one worker's outcome for rs. Success merges the
+// summary (idempotently: a duplicate completion of an already-done
+// offset is dropped), detects exhaustion from a short count, and
+// checkpoints. Failure re-queues the range with backoff until
+// MaxAttempts grants are spent, then fails the whole run.
+func (c *Coordinator) complete(ctx context.Context, worker string, rs *rangeState, sum *setconsensus.Summary, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	off := rs.Offset
+
+	if err != nil {
+		// A cancelled run is not a worker failure: leave the range to the
+		// checkpoint's pending set (leases are not persisted) and exit.
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+			return
+		}
+		// The lease may have expired and been re-issued while this worker
+		// struggled; if someone else now owns or completed the range, this
+		// stale failure is moot.
+		if cur, ok := c.leased[off]; !ok || cur.worker != worker {
+			return
+		}
+		if _, ok := c.done[off]; ok {
+			return
+		}
+		if rs.attempts >= c.params.MaxAttempts {
+			c.fatal = fmt.Errorf("coord: range %s failed after %d attempts: %w", rs.Range, rs.attempts, err)
+			if c.cancel != nil {
+				c.cancel()
+			}
+			return
+		}
+		rs.worker, rs.liveAdv, rs.liveRuns = "", 0, 0
+		rs.notBefore = time.Now().Add(time.Duration(rs.attempts) * c.params.RetryBackoff)
+		delete(c.leased, off)
+		c.pending = append(c.pending, rs)
+		return
+	}
+
+	if _, dup := c.done[off]; dup {
+		return // duplicate completion after a re-issue: first result won
+	}
+	delete(c.leased, off)
+	c.dropPendingLocked(off)
+	count := sum.Adversaries()
+	c.done[off] = &doneRange{Range: rs.Range, Count: count, Summary: sum}
+	c.doneAdv += count
+	c.doneRuns += sum.Runs()
+	if count < rs.Limit && (!c.exhausted || off+count < c.end) {
+		// The space ended inside this range: stop minting and drop pending
+		// ranges that lie wholly past the end (they could only be empty).
+		c.exhausted = true
+		c.end = off + count
+		kept := c.pending[:0]
+		for _, p := range c.pending {
+			if p.Offset < c.end {
+				kept = append(kept, p)
+			}
+		}
+		c.pending = kept
+	}
+	if werr := c.writeCheckpointLocked(); werr != nil && c.fatal == nil {
+		c.fatal = werr
+		if c.cancel != nil {
+			c.cancel()
+		}
+		return
+	}
+	c.emitProgressLocked(true)
+}
+
+// dropPendingLocked removes any queued re-issue of offset off.
+func (c *Coordinator) dropPendingLocked(off int) {
+	kept := c.pending[:0]
+	for _, p := range c.pending {
+		if p.Offset != off {
+			kept = append(kept, p)
+		}
+	}
+	c.pending = kept
+}
+
+// liveProgress folds one worker's in-range progress snapshot into the
+// aggregated feed.
+func (c *Coordinator) liveProgress(off int, p setconsensus.SweepProgress) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rs, ok := c.leased[off]; ok {
+		rs.liveAdv, rs.liveRuns = p.Adversaries, p.Runs
+	}
+	c.emitProgressLocked(false)
+}
+
+// emitProgressLocked streams the aggregated snapshot — completed ranges
+// plus every live lease — throttled to ProgressInterval unless forced.
+func (c *Coordinator) emitProgressLocked(force bool) {
+	if c.progress == nil {
+		return
+	}
+	now := time.Now()
+	if !force && now.Sub(c.lastEmit) < c.params.ProgressInterval {
+		return
+	}
+	c.lastEmit = now
+	p := setconsensus.SweepProgress{Adversaries: c.doneAdv, Runs: c.doneRuns, Total: c.totalLocked()}
+	for _, rs := range c.leased {
+		p.Adversaries += rs.liveAdv
+		p.Runs += rs.liveRuns
+	}
+	c.progress(p)
+}
+
+func (c *Coordinator) totalLocked() int {
+	if c.exhausted {
+		return c.end
+	}
+	return c.params.Total
+}
+
+// Run executes the sweep on the given workers until the space is
+// exhausted and every range completed, then returns the merged Summary.
+// progress, when non-nil, receives throttled aggregate SweepProgress
+// snapshots. On cancellation Run returns ctx's error with the
+// checkpoint (when configured) holding everything completed so far; a
+// later Run resumes from it.
+func (c *Coordinator) Run(ctx context.Context, workers []Worker, progress func(setconsensus.SweepProgress)) (*setconsensus.Summary, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("coord: no workers")
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	c.mu.Lock()
+	c.progress = progress
+	c.cancel = cancel
+	// Seed the checkpoint eagerly: a kill before the first completion
+	// must still leave a loadable file.
+	if err := c.writeCheckpointLocked(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w Worker) {
+			defer wg.Done()
+			for {
+				rs, ok, err := c.claim(runCtx, w.Name())
+				if err != nil || !ok {
+					return
+				}
+				sum, serr := w.Sweep(runCtx, rs.Range, func(p setconsensus.SweepProgress) {
+					c.liveProgress(rs.Offset, p)
+				})
+				c.complete(runCtx, w.Name(), rs, sum, serr)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fatal != nil {
+		return nil, c.fatal
+	}
+	if err := ctx.Err(); err != nil {
+		// Interrupted: persist the frontier once more (cheap, idempotent)
+		// so the resume sees the freshest state.
+		_ = c.writeCheckpointLocked()
+		return nil, err
+	}
+	sum, err := c.mergedLocked()
+	if err != nil {
+		return nil, err
+	}
+	if progress != nil {
+		c.progress = nil // final snapshot below supersedes the feed
+		progress(setconsensus.SweepProgress{Adversaries: c.doneAdv, Runs: c.doneRuns, Total: c.totalLocked()})
+	}
+	return sum, nil
+}
+
+// mergedLocked verifies that the done set tiles [0, end) and folds the
+// per-range summaries, in offset order, into one Summary labeled with
+// the workload — the same label a monolithic sweep would carry.
+func (c *Coordinator) mergedLocked() (*setconsensus.Summary, error) {
+	if !c.exhausted {
+		return nil, fmt.Errorf("coord: sweep finished without observing the end of the space")
+	}
+	for off := 0; off < c.end; off += c.params.RangeSize {
+		d, ok := c.done[off]
+		if !ok {
+			return nil, fmt.Errorf("coord: range at offset %d missing from completed set", off)
+		}
+		want := c.end - off
+		if want > c.params.RangeSize {
+			want = c.params.RangeSize
+		}
+		if d.Count != want {
+			return nil, fmt.Errorf("coord: range %s yielded %d adversaries, want %d", d.Range, d.Count, want)
+		}
+	}
+	offs := make([]int, 0, len(c.done))
+	for off := range c.done {
+		offs = append(offs, off)
+	}
+	sort.Ints(offs)
+	merged := agg.New(c.workload, c.refs)
+	for _, off := range offs {
+		if err := merged.Merge(c.done[off].Summary); err != nil {
+			return nil, fmt.Errorf("coord: merging range at offset %d: %w", off, err)
+		}
+	}
+	return merged, nil
+}

@@ -161,6 +161,31 @@ func (s Space) From(offset int) iter.Seq2[int, *model.Adversary] {
 	}
 }
 
+// Range yields the window [offset, offset+limit) of the enumeration of
+// All: at most limit canonical adversaries beginning at the offset-th,
+// paired with the same offsets All would have paired them with. It is
+// the unit of work of sharded sweeps — a coordinator carves a space
+// into consecutive Range windows and hands each to a worker, and the
+// windows tile the space exactly: concatenating Range(0, c), Range(c, c),
+// ... reproduces All. A window past the end of the space yields nothing;
+// a non-positive limit yields nothing.
+func (s Space) Range(offset, limit int) iter.Seq2[int, *model.Adversary] {
+	return func(yield func(int, *model.Adversary) bool) {
+		if limit <= 0 {
+			return
+		}
+		left := limit
+		for idx, adv := range s.From(offset) {
+			if !yield(idx, adv) {
+				return
+			}
+			if left--; left == 0 {
+				return
+			}
+		}
+	}
+}
+
 // ForEach calls fn for every canonically distinct adversary in the space,
 // in the deterministic order of All, until fn returns false.
 func (s Space) ForEach(fn func(*model.Adversary) bool) error {

@@ -232,3 +232,38 @@ func TestAllAdversariesValid(t *testing.T) {
 	}
 	t.Logf("space N=3 T=2 R=2 |V|=2: %d canonical adversaries (bound %.0f)", total, s.CountUpperBound())
 }
+
+func TestRangeTilesTheSpace(t *testing.T) {
+	s := Space{N: 3, T: 2, MaxRound: 2, Values: []model.Value{0, 1}}
+	var all []string
+	for _, a := range s.All() {
+		all = append(all, a.String())
+	}
+	// Consecutive windows of every size must tile the enumeration exactly,
+	// including the short final window and windows past the end.
+	for _, size := range []int{1, 3, 7, len(all), len(all) + 5} {
+		var got []string
+		for off := 0; off < len(all)+size; off += size {
+			for idx, a := range s.Range(off, size) {
+				if idx < off || idx >= off+size {
+					t.Fatalf("Range(%d,%d): offset %d outside window", off, size, idx)
+				}
+				got = append(got, a.String())
+			}
+		}
+		if len(got) != len(all) {
+			t.Fatalf("size %d: tiling yielded %d, want %d", size, len(got), len(all))
+		}
+		for i := range got {
+			if got[i] != all[i] {
+				t.Fatalf("size %d: tiling diverges at %d", size, i)
+			}
+		}
+	}
+	for range s.Range(3, 0) {
+		t.Fatal("non-positive limit must yield nothing")
+	}
+	for range s.Range(len(all)+1, 4) {
+		t.Fatal("window past the end must yield nothing")
+	}
+}

@@ -59,6 +59,17 @@ type JobRequest struct {
 	Workload string    `json:"workload,omitempty"`
 	Analysis string    `json:"analysis,omitempty"`
 	Params   JobParams `json:"params"`
+
+	// Offset/Limit scope a sweep job to the workload's offset window
+	// [offset, offset+limit) — the range jobs a sweep coordinator
+	// (internal/coord) fans out across a fleet. Limit 0 with a nonzero
+	// offset means "the rest of the stream"; both zero means the whole
+	// workload, the ordinary un-scoped job. Range-scoped jobs are sized
+	// against MaxSpaceSize by their window, not the full space, so a
+	// fleet can collectively sweep a space far beyond any one server's
+	// per-job budget.
+	Offset int `json:"offset,omitempty"`
+	Limit  int `json:"limit,omitempty"`
 }
 
 // validate checks the request shape (not the budgets — admission does
@@ -82,11 +93,17 @@ func (r *JobRequest) validate() error {
 		if r.Workload != "" || len(r.Refs) > 0 {
 			return fmt.Errorf("service: analysis job cannot carry workload/refs")
 		}
+		if r.Offset != 0 || r.Limit != 0 {
+			return fmt.Errorf("service: analysis job cannot carry an offset range")
+		}
 	default:
 		return fmt.Errorf("service: unknown job kind %q (want %q | %q)", r.Kind, KindSweep, KindAnalysis)
 	}
 	if r.Params.TimeoutMS < 0 {
 		return fmt.Errorf("service: negative timeoutMs %d", r.Params.TimeoutMS)
+	}
+	if r.Offset < 0 || r.Limit < 0 {
+		return fmt.Errorf("service: negative job range offset=%d limit=%d", r.Offset, r.Limit)
 	}
 	return nil
 }

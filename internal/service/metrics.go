@@ -23,21 +23,29 @@ type metrics struct {
 	runsPerSec    atomic.Int64 // sampled once per second
 	graphsRebuilt atomic.Int64 // harvested per finished job from EngineStats
 	graphsRevived atomic.Int64
+	runKitHits    atomic.Int64 // run-buffer kit pool hits/misses, per EngineStats
+	runKitMisses  atomic.Int64
+	chunkHits     atomic.Int64 // feeder chunk pool hits/misses, per EngineStats
+	chunkMisses   atomic.Int64
 }
 
 // snapshot renders every counter for JSON and expvar consumers.
 func (m *metrics) snapshot() map[string]int64 {
 	return map[string]int64{
-		"jobs_queued":    m.queued.Load(),
-		"jobs_running":   m.running.Load(),
-		"jobs_done":      m.done.Load(),
-		"jobs_failed":    m.failed.Load(),
-		"jobs_cancelled": m.cancelled.Load(),
-		"queue_depth":    m.queueDepth.Load(),
-		"runs_total":     m.runsTotal.Load(),
-		"runs_per_sec":   m.runsPerSec.Load(),
-		"graphs_rebuilt": m.graphsRebuilt.Load(),
-		"graphs_revived": m.graphsRevived.Load(),
+		"jobs_queued":      m.queued.Load(),
+		"jobs_running":     m.running.Load(),
+		"jobs_done":        m.done.Load(),
+		"jobs_failed":      m.failed.Load(),
+		"jobs_cancelled":   m.cancelled.Load(),
+		"queue_depth":      m.queueDepth.Load(),
+		"runs_total":       m.runsTotal.Load(),
+		"runs_per_sec":     m.runsPerSec.Load(),
+		"graphs_rebuilt":   m.graphsRebuilt.Load(),
+		"graphs_revived":   m.graphsRevived.Load(),
+		"pool_runkit_hits": m.runKitHits.Load(),
+		"pool_runkit_miss": m.runKitMisses.Load(),
+		"pool_chunk_hits":  m.chunkHits.Load(),
+		"pool_chunk_miss":  m.chunkMisses.Load(),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	setconsensus "setconsensus"
@@ -64,7 +65,7 @@ func (s *Server) admit(req *JobRequest) (setconsensus.Source, error) {
 		}
 		return nil, nil
 	}
-	src, err := setconsensus.ParseWorkload(req.Workload)
+	src, err := resolveWorkload(req)
 	if err != nil {
 		return nil, err
 	}
@@ -79,6 +80,27 @@ func (s *Server) admit(req *JobRequest) (setconsensus.Source, error) {
 		}
 	}
 	return src, nil
+}
+
+// resolveWorkload parses a sweep job's workload reference and scopes it
+// to the request's offset window, when one is set. The window applies
+// before budget sizing, so a range-scoped job over an unboundedly large
+// space is admitted on its window (RangeSource.CountUpperBound is at
+// most the limit) — the admission contract coordinated fleets rely on.
+// A zero limit with a nonzero offset means the rest of the stream.
+func resolveWorkload(req *JobRequest) (setconsensus.Source, error) {
+	src, err := setconsensus.ParseWorkload(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	if req.Offset == 0 && req.Limit == 0 {
+		return src, nil
+	}
+	limit := req.Limit
+	if limit == 0 {
+		limit = math.MaxInt
+	}
+	return setconsensus.RangeSource(src, req.Offset, limit), nil
 }
 
 // deadlineFor picks the job's context deadline: the server's hard bound,
@@ -127,6 +149,10 @@ func (s *Server) run(baseCtx context.Context, j *job) {
 	st := eng.Stats()
 	s.metrics.graphsRebuilt.Add(st.GraphsRebuilt)
 	s.metrics.graphsRevived.Add(st.GraphsRevived)
+	s.metrics.runKitHits.Add(st.RunKitHits)
+	s.metrics.runKitMisses.Add(st.RunKitMisses)
+	s.metrics.chunkHits.Add(st.ChunkHits)
+	s.metrics.chunkMisses.Add(st.ChunkMisses)
 
 	switch {
 	case err == nil:
@@ -164,7 +190,7 @@ func (s *Server) finishJob(j *job, state JobState, err error) {
 // the fold passes MaxSpaceSize adversaries, the job's context is
 // cancelled with ErrSpaceBudget.
 func (s *Server) runSweep(ctx context.Context, cancel context.CancelCauseFunc, eng *setconsensus.Engine, j *job) error {
-	src, err := setconsensus.ParseWorkload(j.req.Workload)
+	src, err := resolveWorkload(&j.req)
 	if err != nil {
 		return err
 	}

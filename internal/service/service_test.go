@@ -456,3 +456,65 @@ func waitTerminal(t *testing.T, c *Client, id string) *JobStatus {
 		time.Sleep(2 * time.Millisecond)
 	}
 }
+
+// TestRangeScopedSweepJob pins the Offset/Limit window contract behind
+// coordinated sweeps: a range job sweeps exactly its window, two
+// complementary windows merge to the whole-workload summary, and a
+// range job over a space beyond the budget is admitted on its window.
+func TestRangeScopedSweepJob(t *testing.T) {
+	// Budget far below the space's enumeration bound: whole-workload
+	// submissions must bounce while range jobs pass on their windows.
+	_, c := newTestServer(t, func(p *Params) { p.MaxSpaceSize = 10 })
+	ctx := context.Background()
+	refs := []string{"optmin"}
+	const workload = "space:n=3,t=1,r=2,v=0..1"
+
+	if _, err := c.Submit(ctx, JobRequest{Kind: KindSweep, Refs: refs, Workload: workload}); err == nil {
+		t.Fatal("whole-space job passed a 10-adversary budget")
+	}
+
+	src, err := setconsensus.ParseWorkload(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := setconsensus.New(setconsensus.WithCrashBound(setconsensus.PatternCrashBound))
+	whole, err := eng.SweepSource(ctx, refs, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := whole.Adversaries()
+
+	merged, err := eng.NewAggregator(src.Label(), refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := merged.Summary()
+	for off := 0; off <= total; off += 10 { // last window runs short / empty
+		st, err := c.SubmitAndWait(ctx, JobRequest{
+			Kind: KindSweep, Refs: refs, Workload: workload, Offset: off, Limit: 10,
+		}, nil)
+		if err != nil {
+			t.Fatalf("range job at offset %d: %v", off, err)
+		}
+		if st.State != StateDone || st.Summary == nil {
+			t.Fatalf("range job at offset %d finished %s (%s)", off, st.State, st.Error)
+		}
+		if err := sum.Merge(st.Summary); err != nil {
+			t.Fatalf("merging window at %d: %v", off, err)
+		}
+	}
+	if got, want := setconsensus.SummaryTable(sum).Render(), setconsensus.SummaryTable(whole).Render(); got != want {
+		t.Fatalf("merged range jobs differ from whole sweep:\nmerged:\n%s\nwhole:\n%s", got, want)
+	}
+
+	// Shape validation: analysis jobs cannot carry windows, negatives die.
+	for _, bad := range []JobRequest{
+		{Kind: KindAnalysis, Analysis: "forced", Offset: 1},
+		{Kind: KindSweep, Refs: refs, Workload: workload, Offset: -1},
+		{Kind: KindSweep, Refs: refs, Workload: workload, Limit: -2},
+	} {
+		if _, err := c.Submit(ctx, bad); err == nil {
+			t.Errorf("invalid range request accepted: %+v", bad)
+		}
+	}
+}

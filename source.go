@@ -30,6 +30,104 @@ type Source interface {
 	Count() (n int, known bool)
 }
 
+// RangeSeq is the optional Source refinement behind offset-scoped
+// sweeps: SeqRange yields the window [offset, offset+limit) of the
+// stream without the caller enumerating (and discarding) the prefix.
+// SpaceSource implements it by resuming the enumeration mid-stream
+// (enum.Space.Range), SliceSource by reslicing; RangeSource falls back
+// to skip-by-enumeration for sources that do not implement it. The
+// windows must tile: concatenating SeqRange(0, c), SeqRange(c, c), ...
+// reproduces Seq exactly.
+type RangeSeq interface {
+	SeqRange(offset, limit int) iter.Seq[*Adversary]
+}
+
+// rangeSource scopes another source to an offset window — the work unit
+// of a coordinated sweep: each worker sweeps one range of the shared
+// space and the coordinator merges the partial Summaries.
+type rangeSource struct {
+	src           Source
+	offset, limit int
+}
+
+// RangeSource yields the window [offset, offset+limit) of src — at most
+// limit adversaries beginning with the offset-th. Sources implementing
+// RangeSeq (exhaustive spaces, slices) enter mid-stream; anything else
+// pays an enumerate-and-discard skip of the prefix, which is still
+// correct because every Source is deterministic and restartable.
+// Negative offsets and limits clamp to zero (an empty window, not an
+// error: a coordinator may legitimately issue a range past the end of a
+// space whose true size it has not discovered yet).
+func RangeSource(src Source, offset, limit int) Source {
+	if offset < 0 {
+		offset = 0
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	return &rangeSource{src: src, offset: offset, limit: limit}
+}
+
+func (s *rangeSource) Label() string {
+	return fmt.Sprintf("%s@%d+%d", s.src.Label(), s.offset, s.limit)
+}
+
+func (s *rangeSource) Count() (int, bool) {
+	c, ok := s.src.Count()
+	if !ok {
+		// The window cannot be sized without enumerating, but it is still
+		// bounded by the limit; CountUpperBound carries that bound.
+		return 0, false
+	}
+	c -= s.offset
+	if c < 0 {
+		c = 0
+	}
+	if c > s.limit {
+		c = s.limit
+	}
+	return c, true
+}
+
+// CountUpperBound bounds the window for admission controllers: never
+// more than the limit, and never more than whatever bound the
+// underlying source reports. This is what lets a range-scoped job over
+// a space far beyond a server's MaxSpaceSize budget pass admission —
+// the job only ever sweeps its window.
+func (s *rangeSource) CountUpperBound() float64 {
+	ub := float64(s.limit)
+	if b, ok := s.src.(interface{ CountUpperBound() float64 }); ok {
+		if sub := b.CountUpperBound(); sub < ub {
+			ub = sub
+		}
+	}
+	return ub
+}
+
+func (s *rangeSource) Seq() iter.Seq[*Adversary] {
+	if r, ok := s.src.(RangeSeq); ok {
+		return r.SeqRange(s.offset, s.limit)
+	}
+	return func(yield func(*Adversary) bool) {
+		if s.limit == 0 {
+			return
+		}
+		skip, left := s.offset, s.limit
+		for a := range s.src.Seq() {
+			if skip > 0 {
+				skip--
+				continue
+			}
+			if !yield(a) {
+				return
+			}
+			if left--; left == 0 {
+				return
+			}
+		}
+	}
+}
+
 // sliceSource adapts a materialized slice.
 type sliceSource struct {
 	label string
@@ -45,6 +143,22 @@ func SliceSource(advs ...*Adversary) Source {
 
 func (s *sliceSource) Label() string      { return s.label }
 func (s *sliceSource) Count() (int, bool) { return len(s.advs), true }
+func (s *sliceSource) SeqRange(offset, limit int) iter.Seq[*Adversary] {
+	lo, hi := offset, offset+limit
+	if lo > len(s.advs) {
+		lo = len(s.advs)
+	}
+	if hi > len(s.advs) || hi < 0 { // hi < 0: offset+limit overflowed
+		hi = len(s.advs)
+	}
+	return func(yield func(*Adversary) bool) {
+		for _, a := range s.advs[lo:hi] {
+			if !yield(a) {
+				return
+			}
+		}
+	}
+}
 func (s *sliceSource) Seq() iter.Seq[*Adversary] {
 	return func(yield func(*Adversary) bool) {
 		for _, a := range s.advs {
@@ -82,6 +196,21 @@ func (s *spaceSource) Count() (int, bool) { return 0, false }
 // so unknown-count sources can still be bounded before a single
 // adversary is enumerated.
 func (s *spaceSource) CountUpperBound() float64 { return s.space.CountUpperBound() }
+
+// SeqRange resumes the canonical enumeration at offset and yields at
+// most limit adversaries (enum.Space.Range) — the RangeSeq refinement
+// that lets coordinated sweeps shard one exhaustive space into offset
+// windows without each worker walking the prefix's input vectors.
+func (s *spaceSource) SeqRange(offset, limit int) iter.Seq[*Adversary] {
+	return func(yield func(*Adversary) bool) {
+		for _, a := range s.space.Range(offset, limit) {
+			if !yield(a) {
+				return
+			}
+		}
+	}
+}
+
 func (s *spaceSource) Seq() iter.Seq[*Adversary] {
 	return func(yield func(*Adversary) bool) {
 		for _, a := range s.space.All() {
