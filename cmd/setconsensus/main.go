@@ -45,6 +45,13 @@
 //	setconsensus -coordinate -join http://10.0.0.2:8372,http://10.0.0.3:8372 \
 //	    -protocol optmin -t 2 -workload "space:n=4,t=2,r=2,v=0..1"
 //
+//	# The same sweep under a seeded fault schedule (crashes, stragglers,
+//	# one torn checkpoint write): the table is still byte-identical, the
+//	# fault tally and breaker/retry counters go to stderr.
+//	setconsensus -coordinate -workers 3 -checkpoint sweep.ckpt \
+//	    -chaos "seed=7,crash=0.1,straggler=0.2,torn#1" \
+//	    -protocol optmin -t 2 -workload "space:n=4,t=2,r=2,v=0..1"
+//
 // Crash syntax: "p@r:a,b" crashes process p in round r delivering only to
 // a and b; "p@r:" is a silent crash; "p@r:*" is a complete send. Multiple
 // crashes are separated by ';'. Workload syntax: "name" or
@@ -79,6 +86,7 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "coordinated sweep: checkpoint file; written atomically per completed range, resumed from when it exists")
 	rangeSize := flag.Int("range-size", 0, "coordinated sweep: adversaries per work range (0 = default)")
 	lease := flag.Duration("lease", 0, "coordinated sweep: per-range worker lease before re-issue (0 = default)")
+	chaosSpec := flag.String("chaos", "", "coordinated sweep: fault-injection spec, e.g. \"seed=7,crash=0.1,straggler=0.2,delay=20ms,torn#1\"; faults tally to stderr, output stays byte-identical")
 	analyze := flag.String("analyze", "", "named analysis to run, e.g. \"search:optmin:width=2\" or \"forced:k=3\" (see -list-analyses)")
 	server := flag.String("server", "", "setconsensusd base URL; -workload/-analyze submit as remote jobs, e.g. http://127.0.0.1:8372")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); exits 130 on expiry, like SIGINT/SIGTERM")
@@ -156,6 +164,9 @@ func main() {
 	if *coordinate && *workload == "" {
 		fatal(fmt.Errorf("-coordinate requires -workload"))
 	}
+	if *chaosSpec != "" && !*coordinate {
+		fatal(fmt.Errorf("-chaos injects faults into coordinated sweeps; it requires -coordinate"))
+	}
 
 	if *workload != "" {
 		if *inputsFlag != "" || *crashFlag != "" {
@@ -174,6 +185,7 @@ func main() {
 				Checkpoint: *checkpoint,
 				RangeSize:  *rangeSize,
 				Lease:      *lease,
+				Chaos:      *chaosSpec,
 			}
 			if opts.Workers == 0 && len(opts.Join) == 0 {
 				opts.Workers = 2

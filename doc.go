@@ -201,6 +201,31 @@
 //	            merged without re-sweeping, and only unfinished ranges
 //	            run
 //
+// The fault-tolerance vocabulary layered on top (PR 8):
+//
+//	chaos       deterministic fault injection (internal/chaos): a seeded
+//	            injector with named points — worker crash, straggler
+//	            stall, dropped/duplicated completion, transient HTTP
+//	            error, SSE disconnect, torn checkpoint write — threaded
+//	            through the coordinator, both worker transports, and the
+//	            service client; nil (the default) never fires. CLI
+//	            surface: setconsensus -coordinate -chaos SPEC, tallies
+//	            on stderr only
+//	quarantine  the open state of a worker's circuit breaker: after
+//	            BreakerThreshold consecutive failures the worker draws
+//	            no new ranges, and the failure that tripped it refunds
+//	            the range's attempt (the fault is attributed to the
+//	            worker, not the range)
+//	probation   re-admission from quarantine: once the probation window
+//	            passes, the worker gets exactly one trial range —
+//	            success closes the breaker, failure re-opens it with a
+//	            doubled window
+//	.bak        the last-good checkpoint sibling: checkpoints embed a
+//	            CRC-32 of their own JSON, intact writes refresh the
+//	            .bak, and a torn or tampered primary falls back to it
+//	            automatically on resume (version and identity
+//	            mismatches still reject with typed errors)
+//
 // Workers come in two transports behind one interface: in-process
 // Engines sweeping RangeSource windows, and setconsensusd servers
 // (-join) receiving range-scoped jobs — a JobRequest carrying offset
@@ -210,7 +235,9 @@
 // commutative and the enumeration order is canonical, any partition of
 // the offset space merges to the byte-identical monolithic summary
 // (pinned by TestRangePartitionEquivalence); kill-and-resume
-// byte-equality is drilled end-to-end by scripts/smoke_coord.sh in CI.
+// byte-equality is drilled end-to-end by scripts/smoke_coord.sh in CI,
+// and scripts/smoke_chaos.sh re-drills it under an armed fault schedule
+// with a torn-checkpoint recovery leg.
 //
 // # Performance
 //

@@ -13,10 +13,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"time"
 
 	setconsensus "setconsensus"
+	"setconsensus/internal/chaos"
 	"setconsensus/internal/coord"
 	"setconsensus/internal/service"
 )
@@ -91,6 +93,13 @@ type CoordinateOpts struct {
 	RangeSize int
 	// Lease overrides the per-range lease duration (0 = keep).
 	Lease time.Duration
+	// Chaos, when non-empty, is a chaos.ParseSpec fault-injection spec
+	// (e.g. "seed=7,crash=0.1,torn#1") threaded through the coordinator
+	// and every worker. The injected faults exercise the retry, breaker,
+	// and checkpoint-recovery paths; the rendered summary must still be
+	// byte-identical to the faultless run. Fault counts and coordinator
+	// stats are reported to stderr, never stdout.
+	Chaos string
 }
 
 // CoordinateWorkload is SweepWorkload run through the internal/coord
@@ -116,6 +125,14 @@ func CoordinateWorkload(ctx context.Context, w io.Writer, workloadRef string, re
 	if n, known := src.Count(); known {
 		p.Total = n
 	}
+	var inj *chaos.Seeded
+	if opts.Chaos != "" {
+		inj, err = chaos.ParseSpec(opts.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		p.Chaos = inj
+	}
 	c, err := coord.New(src.Label(), refs, p)
 	if err != nil {
 		return nil, err
@@ -132,21 +149,34 @@ func CoordinateWorkload(ctx context.Context, w io.Writer, workloadRef string, re
 			setconsensus.WithCrashBound(tLocal),
 			setconsensus.WithDegree(k),
 		)
-		workers = append(workers, coord.NewEngineWorker(fmt.Sprintf("local-%d", i), eng, refs, src, 0))
+		ew := coord.NewEngineWorker(fmt.Sprintf("local-%d", i), eng, refs, src, 0)
+		if inj != nil {
+			ew.WithChaos(inj)
+		}
+		workers = append(workers, ew)
 	}
 	for i, base := range opts.Join {
-		workers = append(workers, coord.NewRemoteWorker(fmt.Sprintf("remote-%d(%s)", i, base), base,
+		rw := coord.NewRemoteWorker(fmt.Sprintf("remote-%d(%s)", i, base), base,
 			service.JobRequest{
 				Refs:     refs,
 				Workload: workloadRef,
 				Params:   jobParams(backend, k, t), // t < 0 by omission: the server's own sweep default
-			}))
+			})
+		if inj != nil {
+			rw.WithChaos(inj)
+		}
+		workers = append(workers, rw)
 	}
 	if len(workers) == 0 {
 		return nil, fmt.Errorf("coordinated sweep needs -workers and/or -join")
 	}
 
 	sum, err := c.Run(ctx, workers, nil)
+	if inj != nil {
+		// Chaos accounting goes to stderr only: stdout must stay
+		// byte-identical to the monolithic sweep, faults or not.
+		reportChaos(os.Stderr, inj, c.Stats())
+	}
 	if err != nil {
 		if Cancelled(err) && opts.Checkpoint != "" {
 			fmt.Fprintf(w, "sweep interrupted; checkpoint saved to %s — re-run to resume\n", opts.Checkpoint)
@@ -155,6 +185,19 @@ func CoordinateWorkload(ctx context.Context, w io.Writer, workloadRef string, re
 	}
 	fmt.Fprintln(w, setconsensus.SummaryTable(sum).Render())
 	return sum, nil
+}
+
+// reportChaos prints the fault-injection tally and the coordinator's
+// robustness counters after a chaotic coordinated run.
+func reportChaos(w io.Writer, inj *chaos.Seeded, st coord.Stats) {
+	faults := inj.String()
+	if faults == "" {
+		faults = "none"
+	}
+	fmt.Fprintf(w, "chaos: injected %s\n", faults)
+	fmt.Fprintf(w, "coord: ranges=%d retries=%d refunds=%d expiries=%d trips=%d probations=%d quarantined=%d ckpt-fallbacks=%d\n",
+		st.RangesDone, st.RangeRetries, st.AttemptsRefunded, st.LeaseExpiries,
+		st.BreakerTrips, st.ProbationGrants, st.QuarantinedWorkers, st.CheckpointFallbacks)
 }
 
 // RunAnalysis resolves an analysis reference ("search:optmin:width=2",

@@ -23,26 +23,68 @@
 // of every completed range plus the pending set (leases are deliberately
 // not persisted — on resume every outstanding range is pending again).
 // Checkpoints are written atomically (temp file + rename) on every
-// completion, so a SIGKILL at any instant leaves a loadable file.
+// completion, carry an embedded checksum, and keep a .bak of the last
+// good file, so a SIGKILL — or a torn write — at any instant leaves a
+// loadable state.
 //
 // Resume is New with a CheckpointPath whose file exists: the
-// coordinator validates that workload, refs, and range size match, then
-// continues from the recorded frontier. The final merged Summary is
-// byte-identical to a single-process Engine.SweepSource over the whole
-// workload, because Summary.Merge is associative and commutative over
-// the partition.
+// coordinator validates the checksum (falling back to the .bak when the
+// primary is corrupt or truncated), checks that workload, refs, and
+// range size match, then continues from the recorded frontier. The
+// final merged Summary is byte-identical to a single-process
+// Engine.SweepSource over the whole workload, because Summary.Merge is
+// associative and commutative over the partition.
+//
+// # Fault tolerance
+//
+// Failed ranges are re-issued with capped exponential backoff and full
+// jitter, bounded by MaxAttempts per range. A circuit breaker per
+// worker quarantines a worker after BreakerThreshold consecutive
+// failures, so a persistently bad worker stops burning range attempts
+// and the sweep degrades gracefully to the healthy fleet; the failure
+// that trips the breaker refunds its range attempt, attributing the
+// fault to the worker rather than the range. A quarantined worker
+// re-enters on probation after BreakerProbation (doubling per
+// consecutive trip, capped at 8×): it gets exactly one trial range —
+// success closes the breaker, failure re-quarantines. Every decision
+// point is observable through Stats and the "setconsensuscoord" expvar
+// map, and deterministically testable through the chaos.Injector
+// threaded behind Params.Chaos.
 package coord
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"fmt"
+	"math/rand/v2"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	setconsensus "setconsensus"
 	"setconsensus/internal/agg"
+	"setconsensus/internal/chaos"
+)
+
+// The typed parameter errors. Validate wraps them with the offending
+// values, so callers branch with errors.Is while logs keep the numbers.
+var (
+	// ErrRangeSize rejects a non-positive range size.
+	ErrRangeSize = errors.New("coord: need a positive range size")
+	// ErrLease rejects a non-positive lease duration.
+	ErrLease = errors.New("coord: need a positive lease")
+	// ErrMaxAttempts rejects a non-positive per-range attempt budget.
+	ErrMaxAttempts = errors.New("coord: need a positive attempt budget")
+	// ErrRetryBackoff rejects a negative retry backoff base.
+	ErrRetryBackoff = errors.New("coord: negative retry backoff")
+	// ErrBackoffCap rejects a retry backoff cap that is negative or
+	// below the base — an exponential schedule that can never grow is a
+	// misconfiguration, not a mode.
+	ErrBackoffCap = errors.New("coord: bad retry backoff cap")
+	// ErrBreaker rejects negative circuit-breaker parameters.
+	ErrBreaker = errors.New("coord: bad circuit-breaker parameters")
 )
 
 // Range is the unit of distributed work: the window
@@ -63,20 +105,41 @@ type Params struct {
 	// re-issued to another worker.
 	Lease time.Duration
 	// MaxAttempts bounds how many times one range may be issued (first
-	// grant included) before the sweep fails. Lease expiries count.
+	// grant included) before the sweep fails. Lease expiries count;
+	// failures that trip a worker's breaker are refunded.
 	MaxAttempts int
-	// RetryBackoff delays the re-issue of a failed range; the delay
-	// scales linearly with the attempt count.
+	// RetryBackoff is the base delay before re-issuing a failed range.
+	// The actual delay grows exponentially with the attempt count,
+	// capped at RetryBackoffCap, with full jitter (uniform in
+	// [0, capped backoff]) so a burst of failures does not re-issue in
+	// lockstep.
 	RetryBackoff time.Duration
+	// RetryBackoffCap caps the exponential re-issue backoff. Zero means
+	// "no growth" (every delay jitters within the base); a non-zero cap
+	// below the base is rejected by Validate with ErrBackoffCap.
+	RetryBackoffCap time.Duration
+	// BreakerThreshold is the number of consecutive failures (lease
+	// expiries included) that quarantines a worker. Zero disables the
+	// per-worker circuit breaker.
+	BreakerThreshold int
+	// BreakerProbation is how long a tripped worker sits quarantined
+	// before it is re-admitted for a single trial range. Consecutive
+	// trips double it, capped at 8× the configured value.
+	BreakerProbation time.Duration
 	// CheckpointPath, when non-empty, enables durable state: the file is
 	// loaded on New when it exists (resume) and written atomically on
-	// every range completion.
+	// every range completion, with a .bak of the last good state.
 	CheckpointPath string
 	// ProgressInterval throttles the aggregated progress feed.
 	ProgressInterval time.Duration
 	// Total is the workload's adversary count when known up front
 	// (0 = unknown); it only feeds progress snapshots.
 	Total int
+	// Chaos, when non-nil, injects faults at the coordinator's named
+	// injection points (dropped and duplicated completions, torn
+	// checkpoint writes). Nil — the default — never fires. Workers
+	// carry their own injector via WithChaos.
+	Chaos chaos.Injector
 }
 
 // Default returns the coordinator defaults; RangeSize suits spaces of
@@ -87,23 +150,39 @@ func Default() Params {
 		Lease:            30 * time.Second,
 		MaxAttempts:      3,
 		RetryBackoff:     250 * time.Millisecond,
+		RetryBackoffCap:  5 * time.Second,
+		BreakerThreshold: 3,
+		BreakerProbation: 5 * time.Second,
 		ProgressInterval: 100 * time.Millisecond,
 	}
 }
 
-// Validate rejects unusable parameter combinations.
+// Validate rejects unusable parameter combinations, wrapping the typed
+// errors above.
 func (p Params) Validate() error {
 	if p.RangeSize <= 0 {
-		return fmt.Errorf("coord: range size %d, want > 0", p.RangeSize)
+		return fmt.Errorf("%w (got %d)", ErrRangeSize, p.RangeSize)
 	}
 	if p.Lease <= 0 {
-		return fmt.Errorf("coord: lease %v, want > 0", p.Lease)
+		return fmt.Errorf("%w (got %v)", ErrLease, p.Lease)
 	}
 	if p.MaxAttempts <= 0 {
-		return fmt.Errorf("coord: max attempts %d, want > 0", p.MaxAttempts)
+		return fmt.Errorf("%w (got %d)", ErrMaxAttempts, p.MaxAttempts)
 	}
 	if p.RetryBackoff < 0 {
-		return fmt.Errorf("coord: negative retry backoff %v", p.RetryBackoff)
+		return fmt.Errorf("%w (got %v)", ErrRetryBackoff, p.RetryBackoff)
+	}
+	if p.RetryBackoffCap < 0 {
+		return fmt.Errorf("%w: negative cap %v", ErrBackoffCap, p.RetryBackoffCap)
+	}
+	if p.RetryBackoffCap > 0 && p.RetryBackoffCap < p.RetryBackoff {
+		return fmt.Errorf("%w: cap %v below base %v", ErrBackoffCap, p.RetryBackoffCap, p.RetryBackoff)
+	}
+	if p.BreakerThreshold < 0 {
+		return fmt.Errorf("%w: negative threshold %d", ErrBreaker, p.BreakerThreshold)
+	}
+	if p.BreakerProbation < 0 {
+		return fmt.Errorf("%w: negative probation %v", ErrBreaker, p.BreakerProbation)
 	}
 	if p.Total < 0 {
 		return fmt.Errorf("coord: negative total %d", p.Total)
@@ -133,6 +212,25 @@ type doneRange struct {
 	Summary *setconsensus.Summary
 }
 
+// breakerState is the lifecycle of one worker's circuit breaker:
+// closed (healthy) → open (quarantined) → half-open (one probation
+// trial in flight) → closed on success, open again on failure.
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is the per-worker failure ledger behind quarantine decisions.
+type breaker struct {
+	state       breakerState
+	consecFails int       // consecutive failures while closed
+	trips       int       // consecutive opens; scales probation
+	reopenAt    time.Time // open: earliest probation trial
+}
+
 // Coordinator shards one workload across workers. Build with New, run
 // with Run; a Coordinator is single-use.
 type Coordinator struct {
@@ -147,12 +245,21 @@ type Coordinator struct {
 	pending   []*rangeState       // claimable (possibly backoff-delayed), any order
 	leased    map[int]*rangeState // offset → outstanding lease
 	done      map[int]*doneRange  // offset → completed range
+	breakers  map[string]*breaker // worker name → circuit breaker
 	doneAdv   int                 // adversaries across done ranges
 	doneRuns  int                 // runs across done ranges
 	fatal     error               // first unrecoverable error
 	lastEmit  time.Time           // progress throttle
 	progress  func(setconsensus.SweepProgress)
 	cancel    context.CancelFunc // cancels the run on fatal
+
+	// Robustness counters, snapshotted by Stats.
+	statRetries     int64 // failed ranges re-queued for another attempt
+	statRefunds     int64 // range attempts refunded on breaker trips
+	statExpiries    int64 // leases expired and re-issued
+	statTrips       int64 // breaker transitions into quarantine
+	statProbations  int64 // probation trial ranges granted
+	statCkptFallbak int64 // checkpoint loads served from the .bak
 }
 
 // New builds a coordinator for one workload. workload is both the
@@ -178,6 +285,7 @@ func New(workload string, refs []string, p Params) (*Coordinator, error) {
 		refs:     append([]string(nil), refs...),
 		leased:   make(map[int]*rangeState),
 		done:     make(map[int]*doneRange),
+		breakers: make(map[string]*breaker),
 	}
 	if p.CheckpointPath != "" {
 		if err := c.loadCheckpoint(p.CheckpointPath); err != nil {
@@ -187,8 +295,83 @@ func New(workload string, refs []string, p Params) (*Coordinator, error) {
 	return c, nil
 }
 
+// Stats is a point-in-time snapshot of the coordinator's robustness
+// counters — the coordinator's analogue of Engine.Stats, published
+// process-wide through the "setconsensuscoord" expvar map.
+type Stats struct {
+	// RangesDone is the completed-range count so far.
+	RangesDone int64 `json:"rangesDone"`
+	// RangeRetries counts failed ranges re-queued for another attempt.
+	RangeRetries int64 `json:"rangeRetries"`
+	// AttemptsRefunded counts range attempts refunded because the
+	// failure tripped the worker's breaker (fault attributed to the
+	// worker, not the range).
+	AttemptsRefunded int64 `json:"attemptsRefunded"`
+	// LeaseExpiries counts leases that expired and were re-issued.
+	LeaseExpiries int64 `json:"leaseExpiries"`
+	// BreakerTrips counts transitions into quarantine.
+	BreakerTrips int64 `json:"breakerTrips"`
+	// ProbationGrants counts trial ranges granted to quarantined
+	// workers after probation.
+	ProbationGrants int64 `json:"probationGrants"`
+	// QuarantinedWorkers is the gauge of workers currently open or on a
+	// probation trial.
+	QuarantinedWorkers int64 `json:"quarantinedWorkers"`
+	// CheckpointFallbacks counts checkpoint loads served from the .bak
+	// after a corrupt or truncated primary.
+	CheckpointFallbacks int64 `json:"checkpointFallbacks"`
+	// FaultsInjected totals the chaos injector's fired faults, when one
+	// is configured and countable.
+	FaultsInjected int64 `json:"faultsInjected"`
+}
+
+// Stats snapshots the coordinator's robustness counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		RangesDone:          int64(len(c.done)),
+		RangeRetries:        c.statRetries,
+		AttemptsRefunded:    c.statRefunds,
+		LeaseExpiries:       c.statExpiries,
+		BreakerTrips:        c.statTrips,
+		ProbationGrants:     c.statProbations,
+		CheckpointFallbacks: c.statCkptFallbak,
+	}
+	for _, b := range c.breakers {
+		if b.state != breakerClosed {
+			s.QuarantinedWorkers++
+		}
+	}
+	if t, ok := c.params.Chaos.(interface{ Total() int64 }); ok {
+		s.FaultsInjected = t.Total()
+	}
+	return s
+}
+
+// expvar publication is process-global and append-only, while tests
+// build many coordinators — so the package publishes one
+// "setconsensuscoord" Func reading whichever coordinator ran most
+// recently, mirroring the service package's expvar shape.
+var (
+	expvarOnce  sync.Once
+	activeCoord atomic.Pointer[Coordinator]
+)
+
+func publishExpvar(c *Coordinator) {
+	activeCoord.Store(c)
+	expvarOnce.Do(func() {
+		expvar.Publish("setconsensuscoord", expvar.Func(func() any {
+			if c := activeCoord.Load(); c != nil {
+				return c.Stats()
+			}
+			return Stats{}
+		}))
+	})
+}
+
 // claimPoll bounds how often a waiting worker rescans for expired
-// leases and matured backoffs.
+// leases, matured backoffs, and probation re-admissions.
 func (c *Coordinator) claimPoll() time.Duration {
 	poll := c.params.Lease / 4
 	if poll > 50*time.Millisecond {
@@ -202,9 +385,9 @@ func (c *Coordinator) claimPoll() time.Duration {
 
 // claim hands worker the next range: an expired or matured pending
 // range first, else a freshly minted one. It blocks (polling) while
-// every candidate is leased out or backing off, returns ok=false when
-// the sweep is complete, and an error when the run is cancelled or has
-// failed fatally.
+// every candidate is leased out or backing off — or while the worker
+// itself is quarantined — returns ok=false when the sweep is complete,
+// and an error when the run is cancelled or has failed fatally.
 func (c *Coordinator) claim(ctx context.Context, worker string) (*rangeState, bool, error) {
 	for {
 		if err := ctx.Err(); err != nil {
@@ -218,19 +401,21 @@ func (c *Coordinator) claim(ctx context.Context, worker string) (*rangeState, bo
 		}
 		now := time.Now()
 		c.expireLeasesLocked(now)
-		if rs := c.takePendingLocked(now); rs != nil {
-			c.grantLocked(rs, worker, now)
-			c.mu.Unlock()
-			return rs, true, nil
+		if admitted, trial := c.workerAdmitLocked(worker, now); admitted {
+			if rs := c.takePendingLocked(now); rs != nil {
+				c.grantLocked(rs, worker, now, trial)
+				c.mu.Unlock()
+				return rs, true, nil
+			}
+			if !c.exhausted {
+				rs := &rangeState{Range: Range{Offset: c.next, Limit: c.params.RangeSize}}
+				c.next += c.params.RangeSize
+				c.grantLocked(rs, worker, now, trial)
+				c.mu.Unlock()
+				return rs, true, nil
+			}
 		}
-		if !c.exhausted {
-			rs := &rangeState{Range: Range{Offset: c.next, Limit: c.params.RangeSize}}
-			c.next += c.params.RangeSize
-			c.grantLocked(rs, worker, now)
-			c.mu.Unlock()
-			return rs, true, nil
-		}
-		idle := len(c.leased) == 0 && len(c.pending) == 0
+		idle := c.exhausted && len(c.leased) == 0 && len(c.pending) == 0
 		c.mu.Unlock()
 		if idle {
 			return nil, false, nil
@@ -243,13 +428,38 @@ func (c *Coordinator) claim(ctx context.Context, worker string) (*rangeState, bo
 	}
 }
 
-// expireLeasesLocked returns every expired lease to the pending queue.
+// workerAdmitLocked decides whether worker may be granted a range right
+// now. A quarantined worker is admitted once its probation matured;
+// trial=true then marks the grant as the breaker's half-open trial.
+func (c *Coordinator) workerAdmitLocked(worker string, now time.Time) (admitted, trial bool) {
+	if c.params.BreakerThreshold <= 0 {
+		return true, false
+	}
+	b := c.breakers[worker]
+	if b == nil || b.state == breakerClosed {
+		return true, false
+	}
+	if b.state == breakerOpen && !now.Before(b.reopenAt) {
+		return true, true
+	}
+	return false, false // quarantined, or a probation trial already in flight
+}
+
+// expireLeasesLocked returns every expired lease to the pending queue
+// and charges the silent leaseholder's breaker — an unresponsive worker
+// is indistinguishable from a crashed one.
 func (c *Coordinator) expireLeasesLocked(now time.Time) {
 	for off, rs := range c.leased {
 		if now.After(rs.expiry) {
+			holder := rs.worker
 			rs.worker, rs.liveAdv, rs.liveRuns = "", 0, 0
 			delete(c.leased, off)
 			c.pending = append(c.pending, rs)
+			c.statExpiries++
+			if c.noteWorkerFailureLocked(holder, now) && rs.attempts > 0 {
+				rs.attempts--
+				c.statRefunds++
+			}
 		}
 	}
 }
@@ -274,20 +484,108 @@ func (c *Coordinator) takePendingLocked(now time.Time) *rangeState {
 	return rs
 }
 
-// grantLocked leases rs to worker and counts the attempt.
-func (c *Coordinator) grantLocked(rs *rangeState, worker string, now time.Time) {
+// grantLocked leases rs to worker and counts the attempt. A trial grant
+// moves the worker's breaker to half-open: one range decides whether it
+// re-joins the fleet or goes back into quarantine.
+func (c *Coordinator) grantLocked(rs *rangeState, worker string, now time.Time, trial bool) {
 	rs.attempts++
 	rs.worker = worker
 	rs.expiry = now.Add(c.params.Lease)
 	rs.liveAdv, rs.liveRuns = 0, 0
 	c.leased[rs.Offset] = rs
+	if trial {
+		c.breakerFor(worker).state = breakerHalfOpen
+		c.statProbations++
+	}
+}
+
+func (c *Coordinator) breakerFor(worker string) *breaker {
+	b := c.breakers[worker]
+	if b == nil {
+		b = &breaker{}
+		c.breakers[worker] = b
+	}
+	return b
+}
+
+// noteWorkerFailureLocked records one failure against worker's breaker
+// and reports whether this failure tripped it closed → open — the
+// signal to refund the range attempt, attributing the fault to the
+// worker rather than the range. A failed half-open trial re-opens with
+// escalated probation and no refund, so a poisoned range still runs
+// into MaxAttempts eventually.
+func (c *Coordinator) noteWorkerFailureLocked(worker string, now time.Time) (refund bool) {
+	if c.params.BreakerThreshold <= 0 {
+		return false
+	}
+	b := c.breakerFor(worker)
+	if b.state == breakerHalfOpen {
+		b.trips++
+		b.state = breakerOpen
+		b.reopenAt = now.Add(c.probationFor(b.trips))
+		c.statTrips++
+		return false
+	}
+	b.consecFails++
+	if b.consecFails >= c.params.BreakerThreshold {
+		b.consecFails = 0
+		b.trips++
+		b.state = breakerOpen
+		b.reopenAt = now.Add(c.probationFor(b.trips))
+		c.statTrips++
+		return true
+	}
+	return false
+}
+
+// noteWorkerSuccessLocked closes worker's breaker: any success resets
+// the consecutive-failure ledger and the probation escalation.
+func (c *Coordinator) noteWorkerSuccessLocked(worker string) {
+	if b := c.breakers[worker]; b != nil {
+		b.state = breakerClosed
+		b.consecFails, b.trips = 0, 0
+	}
+}
+
+// probationFor scales the quarantine by consecutive trips: doubling per
+// trip, capped at 8× the configured probation.
+func (c *Coordinator) probationFor(trips int) time.Duration {
+	p := c.params.BreakerProbation
+	for i := 1; i < trips && i < 4; i++ {
+		p *= 2
+	}
+	return p
+}
+
+// backoffFor computes the re-issue delay after a failed attempt:
+// exponential in the attempt count from the RetryBackoff base, capped
+// at RetryBackoffCap, with full jitter (uniform in [0, backoff]) so
+// simultaneous failures do not re-issue in lockstep.
+func (c *Coordinator) backoffFor(attempts int) time.Duration {
+	base := c.params.RetryBackoff
+	if base <= 0 {
+		return 0
+	}
+	ceil := c.params.RetryBackoffCap
+	if ceil <= 0 {
+		ceil = base
+	}
+	d := base
+	for i := 1; i < attempts && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	return time.Duration(rand.Int64N(int64(d) + 1))
 }
 
 // complete records one worker's outcome for rs. Success merges the
 // summary (idempotently: a duplicate completion of an already-done
 // offset is dropped), detects exhaustion from a short count, and
-// checkpoints. Failure re-queues the range with backoff until
-// MaxAttempts grants are spent, then fails the whole run.
+// checkpoints. Failure charges the worker's breaker, then re-queues the
+// range with jittered exponential backoff until MaxAttempts grants are
+// spent, then fails the whole run.
 func (c *Coordinator) complete(ctx context.Context, worker string, rs *rangeState, sum *setconsensus.Summary, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -308,6 +606,11 @@ func (c *Coordinator) complete(ctx context.Context, worker string, rs *rangeStat
 		if _, ok := c.done[off]; ok {
 			return
 		}
+		now := time.Now()
+		if c.noteWorkerFailureLocked(worker, now) && rs.attempts > 0 {
+			rs.attempts--
+			c.statRefunds++
+		}
 		if rs.attempts >= c.params.MaxAttempts {
 			c.fatal = fmt.Errorf("coord: range %s failed after %d attempts: %w", rs.Range, rs.attempts, err)
 			if c.cancel != nil {
@@ -316,12 +619,14 @@ func (c *Coordinator) complete(ctx context.Context, worker string, rs *rangeStat
 			return
 		}
 		rs.worker, rs.liveAdv, rs.liveRuns = "", 0, 0
-		rs.notBefore = time.Now().Add(time.Duration(rs.attempts) * c.params.RetryBackoff)
+		rs.notBefore = now.Add(c.backoffFor(rs.attempts))
 		delete(c.leased, off)
 		c.pending = append(c.pending, rs)
+		c.statRetries++
 		return
 	}
 
+	c.noteWorkerSuccessLocked(worker)
 	if _, dup := c.done[off]; dup {
 		return // duplicate completion after a re-issue: first result won
 	}
@@ -414,6 +719,7 @@ func (c *Coordinator) Run(ctx context.Context, workers []Worker, progress func(s
 	}
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	publishExpvar(c)
 
 	c.mu.Lock()
 	c.progress = progress
@@ -439,6 +745,19 @@ func (c *Coordinator) Run(ctx context.Context, workers []Worker, progress func(s
 				sum, serr := w.Sweep(runCtx, rs.Range, func(p setconsensus.SweepProgress) {
 					c.liveProgress(rs.Offset, p)
 				})
+				if serr == nil {
+					// The completion path is itself an injection surface:
+					// a dropped completion loses a finished range on the
+					// way back (the lease expiry re-issues it), a
+					// duplicated completion delivers it twice (the merge
+					// must stay idempotent).
+					if fire, _ := chaos.Fire(c.params.Chaos, chaos.PointDropCompletion); fire {
+						continue
+					}
+					if fire, _ := chaos.Fire(c.params.Chaos, chaos.PointDupCompletion); fire {
+						c.complete(runCtx, w.Name(), rs, sum, nil)
+					}
+				}
 				c.complete(runCtx, w.Name(), rs, sum, serr)
 			}
 		}(w)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	setconsensus "setconsensus"
+	"setconsensus/internal/chaos"
 	"setconsensus/internal/service"
 )
 
@@ -21,6 +22,22 @@ type Worker interface {
 	Sweep(ctx context.Context, r Range, progress func(setconsensus.SweepProgress)) (*setconsensus.Summary, error)
 }
 
+// injectWorkerFaults runs the two worker-side injection points shared
+// by both transports: a straggler stall before the range (exercising
+// lease expiry) and a crash that kills the attempt outright (exercising
+// retry and the circuit breaker).
+func injectWorkerFaults(ctx context.Context, inj chaos.Injector, name string, r Range) error {
+	if fire, d := chaos.Fire(inj, chaos.PointStraggler); fire {
+		if err := chaos.Sleep(ctx, d); err != nil {
+			return err
+		}
+	}
+	if fire, _ := chaos.Fire(inj, chaos.PointWorkerCrash); fire {
+		return fmt.Errorf("chaos: injected crash of worker %s on range %s", name, r)
+	}
+	return nil
+}
+
 // EngineWorker runs ranges on an in-process Engine: each range becomes
 // an Engine.SweepSourceProgress over the workload source scoped with
 // setconsensus.RangeSource. Give each worker its own Engine (engines
@@ -32,6 +49,7 @@ type EngineWorker struct {
 	refs   []string
 	src    setconsensus.Source
 	every  time.Duration
+	chaos  chaos.Injector
 }
 
 // NewEngineWorker builds an in-process worker. every throttles the
@@ -40,9 +58,19 @@ func NewEngineWorker(name string, engine *setconsensus.Engine, refs []string, sr
 	return &EngineWorker{name: name, engine: engine, refs: append([]string(nil), refs...), src: src, every: every}
 }
 
+// WithChaos threads a fault injector into the worker's sweep path and
+// returns the worker. Nil (the default) never fires.
+func (w *EngineWorker) WithChaos(inj chaos.Injector) *EngineWorker {
+	w.chaos = inj
+	return w
+}
+
 func (w *EngineWorker) Name() string { return w.name }
 
 func (w *EngineWorker) Sweep(ctx context.Context, r Range, progress func(setconsensus.SweepProgress)) (*setconsensus.Summary, error) {
+	if err := injectWorkerFaults(ctx, w.chaos, w.name, r); err != nil {
+		return nil, err
+	}
 	return w.engine.SweepSourceProgress(ctx, w.refs,
 		setconsensus.RangeSource(w.src, r.Offset, r.Limit), w.every, progress)
 }
@@ -56,6 +84,7 @@ type RemoteWorker struct {
 	name   string
 	client *service.Client
 	req    service.JobRequest
+	chaos  chaos.Injector
 }
 
 // NewRemoteWorker builds a worker speaking to the server at base (e.g.
@@ -66,9 +95,25 @@ func NewRemoteWorker(name, base string, req service.JobRequest) *RemoteWorker {
 	return &RemoteWorker{name: name, client: &service.Client{Base: base}, req: req}
 }
 
+// WithChaos threads a fault injector into both the worker's own sweep
+// path (straggler, crash) and its service.Client (transient HTTP
+// errors, SSE disconnects), and returns the worker.
+func (w *RemoteWorker) WithChaos(inj chaos.Injector) *RemoteWorker {
+	w.chaos = inj
+	w.client.Chaos = inj
+	return w
+}
+
+// Client exposes the worker's underlying service client for transport
+// tuning (timeouts, retry budget).
+func (w *RemoteWorker) Client() *service.Client { return w.client }
+
 func (w *RemoteWorker) Name() string { return w.name }
 
 func (w *RemoteWorker) Sweep(ctx context.Context, r Range, progress func(setconsensus.SweepProgress)) (*setconsensus.Summary, error) {
+	if err := injectWorkerFaults(ctx, w.chaos, w.name, r); err != nil {
+		return nil, err
+	}
 	req := w.req
 	req.Offset, req.Limit = r.Offset, r.Limit
 	st, err := w.client.SubmitAndWait(ctx, req, func(p service.JobProgress) {

@@ -5,29 +5,184 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
+
+	"setconsensus/internal/chaos"
 )
+
+// defaultTransport backs the zero-value Client: connection-level
+// timeouts (dial, TLS, response headers) guard every request, while the
+// deliberate absence of a whole-body http.Client.Timeout keeps
+// long-lived SSE streams alive. Unary calls get their per-request
+// deadline from Client.Timeout instead.
+var defaultHTTPClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ResponseHeaderTimeout: 30 * time.Second,
+		IdleConnTimeout:       90 * time.Second,
+		MaxIdleConnsPerHost:   8,
+	},
+}
+
+// errInjectedHTTP is the synthetic transient failure raised by the
+// chaos PointHTTPError injection point; it is retried like a network
+// error.
+var errInjectedHTTP = errors.New("service: chaos: injected transient http error")
+
+// errInjectedSSE severs an event stream mid-flight at the chaos
+// PointSSEDisconnect injection point; Wait's reconnect loop absorbs it.
+var errInjectedSSE = errors.New("service: chaos: injected sse disconnect")
+
+// statusError carries the server's HTTP status so the retry loop can
+// distinguish transient gateway failures (502/503/504) from real
+// rejections.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
 
 // Client is the Go consumer of a setconsensusd server: it submits jobs,
 // follows their SSE streams, and fetches finished results. The CLIs'
 // -server mode is built on it, so a remote sweep renders exactly like a
-// local one.
+// local one. The zero value (plus Base) is production-ready: default
+// transport with connection timeouts, a 30s per-request deadline on
+// unary calls, transient-error retries, and SSE reconnection. A Client
+// must not be copied after first use (it carries counters).
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8372".
 	Base string
-	// HTTP is the underlying client; nil means http.DefaultClient.
+	// HTTP is the underlying client; nil means a shared default with
+	// transport-level timeouts but no whole-body timeout (which would
+	// sever long SSE streams).
 	HTTP *http.Client
+	// Timeout bounds each unary request (submit, status, cancel); 0
+	// means 30s, negative disables. Event streams are bounded only by
+	// ctx — they are meant to live for the whole job.
+	Timeout time.Duration
+	// Retries is the transient-failure retry budget per unary request
+	// (network errors, injected faults, 502/503/504); 0 means 2,
+	// negative disables.
+	Retries int
+	// RetryBase and RetryCap shape the exponential backoff between
+	// retries and stream reconnects: base doubles per attempt, capped.
+	// Zero means 100ms base, 2s cap.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// Chaos, when non-nil, injects faults on the request path
+	// (PointHTTPError) and the event stream (PointSSEDisconnect). Nil —
+	// the default — never fires.
+	Chaos chaos.Injector
+
+	httpRetries   atomic.Int64
+	sseReconnects atomic.Int64
+}
+
+// ClientStats snapshots the client's robustness counters.
+type ClientStats struct {
+	// HTTPRetries counts unary requests re-sent after a transient
+	// failure.
+	HTTPRetries int64 `json:"httpRetries"`
+	// SSEReconnects counts event streams re-established after a break.
+	SSEReconnects int64 `json:"sseReconnects"`
+}
+
+// Stats reports how often the client had to retry or reconnect.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		HTTPRetries:   c.httpRetries.Load(),
+		SSEReconnects: c.sseReconnects.Load(),
+	}
 }
 
 func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
+}
+
+func (c *Client) timeout() time.Duration {
+	switch {
+	case c.Timeout > 0:
+		return c.Timeout
+	case c.Timeout < 0:
+		return 0
+	default:
+		return 30 * time.Second
+	}
+}
+
+func (c *Client) retries() int {
+	switch {
+	case c.Retries > 0:
+		return c.Retries
+	case c.Retries < 0:
+		return 0
+	default:
+		return 2
+	}
+}
+
+// retryDelay is the capped exponential backoff before retry attempt
+// n (n ≥ 1).
+func (c *Client) retryDelay(n int) time.Duration {
+	base, ceil := c.RetryBase, c.RetryCap
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if ceil <= 0 {
+		ceil = 2 * time.Second
+	}
+	d := base
+	for i := 1; i < n && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	return d
+}
+
+// transient reports whether err is worth retrying: injected faults,
+// network-level failures, and gateway-style 502/503/504 statuses.
+// Context cancellation and deadline expiry are the caller's signal, not
+// the server's weather, and are never retried here (the per-request
+// deadline is re-armed per attempt, so a slow attempt fails with a
+// net timeout error, which is transient).
+func transient(ctx context.Context, err error) bool {
+	if err == nil || ctx.Err() != nil {
+		return false
+	}
+	if errors.Is(err, errInjectedHTTP) {
+		return true
+	}
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code == http.StatusBadGateway || se.code == http.StatusServiceUnavailable || se.code == http.StatusGatewayTimeout
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	// url.Error wraps io/syscall errors that don't implement net.Error
+	// (connection refused during a server restart, unexpected EOF).
+	return errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) ||
+		strings.Contains(err.Error(), "connection refused") ||
+		strings.Contains(err.Error(), "connection reset")
 }
 
 func (c *Client) url(path string) string {
@@ -41,9 +196,69 @@ func decodeError(resp *http.Response) error {
 		Error string `json:"error"`
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e); err == nil && e.Error != "" {
-		return fmt.Errorf("service: server %s: %s", resp.Status, e.Error)
+		return &statusError{code: resp.StatusCode, msg: fmt.Sprintf("service: server %s: %s", resp.Status, e.Error)}
 	}
-	return fmt.Errorf("service: server returned %s", resp.Status)
+	return &statusError{code: resp.StatusCode, msg: fmt.Sprintf("service: server returned %s", resp.Status)}
+}
+
+// doJSON performs one unary request with a per-attempt deadline,
+// retrying transient failures with capped exponential backoff, and
+// decodes the wantStatus response body into out.
+func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, wantStatus int, out any) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries(); attempt++ {
+		if attempt > 0 {
+			c.httpRetries.Add(1)
+			if err := chaos.Sleep(ctx, c.retryDelay(attempt)); err != nil {
+				return err
+			}
+		}
+		err := c.doOnce(ctx, method, path, body, wantStatus, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !transient(ctx, err) {
+			return err
+		}
+	}
+	return lastErr
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, wantStatus int, out any) error {
+	if fire, _ := chaos.Fire(c.Chaos, chaos.PointHTTPError); fire {
+		return errInjectedHTTP
+	}
+	rctx := ctx
+	if t := c.timeout(); t > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	hr, err := http.NewRequestWithContext(rctx, method, c.url(path), rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		hr.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != wantStatus {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // Submit posts a job and returns its accepted status.
@@ -52,21 +267,8 @@ func (c *Client) Submit(ctx context.Context, req JobRequest) (*JobStatus, error)
 	if err != nil {
 		return nil, err
 	}
-	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	hr.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(hr)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		return nil, decodeError(resp)
-	}
-	defer resp.Body.Close()
 	var st JobStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/jobs", body, http.StatusAccepted, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -74,20 +276,8 @@ func (c *Client) Submit(ctx context.Context, req JobRequest) (*JobStatus, error)
 
 // Get fetches a job's current status.
 func (c *Client) Get(ctx context.Context, id string) (*JobStatus, error) {
-	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id), nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http().Do(hr)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
-	defer resp.Body.Close()
 	var st JobStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id, nil, http.StatusOK, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -96,20 +286,8 @@ func (c *Client) Get(ctx context.Context, id string) (*JobStatus, error) {
 // Cancel DELETEs a job: an active job is cancelled, a finished one
 // removed. Returns the job's status after the action.
 func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
-	hr, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url("/v1/jobs/"+id), nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http().Do(hr)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
-	defer resp.Body.Close()
 	var st JobStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+	if err := c.doJSON(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, http.StatusOK, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -117,7 +295,9 @@ func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
 
 // Events follows a job's SSE stream, invoking fn per event, until the
 // job reaches a terminal state (returned), the stream breaks (error),
-// or ctx is cancelled. fn may be nil.
+// or ctx is cancelled. fn may be nil. Events makes a single connection
+// attempt and does not reconnect — that is Wait's job, which also knows
+// how to reconcile the job's status across the gap.
 func (c *Client) Events(ctx context.Context, id string, fn func(Event)) (*JobStatus, error) {
 	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/events"), nil)
 	if err != nil {
@@ -146,6 +326,9 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event)) (*JobSta
 		case strings.HasPrefix(line, ":"):
 			// heartbeat comment
 		case line == "" && name != "":
+			if fire, _ := chaos.Fire(c.Chaos, chaos.PointSSEDisconnect); fire {
+				return nil, errInjectedSSE
+			}
 			var st JobStatus
 			if err := json.Unmarshal(data, &st); err != nil {
 				return nil, fmt.Errorf("service: bad %s event payload: %w", name, err)
@@ -166,35 +349,39 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event)) (*JobSta
 	return nil, fmt.Errorf("service: event stream for %s ended without a terminal event", id)
 }
 
-// Wait runs a job to completion: it follows the event stream (falling
-// back to polling if the stream breaks) and returns the terminal
-// status. progress, when non-nil, receives each progress event.
+// Wait runs a job to completion and returns the terminal status.
+// It follows the event stream; when the stream breaks (proxy hiccup,
+// injected disconnect, server listener restart) it reconciles via a
+// status fetch — the job may have finished during the gap — and then
+// reconnects with capped exponential backoff. Reconnection is safe
+// because a fresh subscription always replays the job's current state
+// and, for finished jobs, the terminal event. progress, when non-nil,
+// receives each progress event.
 func (c *Client) Wait(ctx context.Context, id string, progress func(JobProgress)) (*JobStatus, error) {
-	st, err := c.Events(ctx, id, func(ev Event) {
-		if progress != nil && ev.Name == "progress" && ev.Status.Progress != nil {
-			progress(*ev.Status.Progress)
+	for attempt := 0; ; attempt++ {
+		st, err := c.Events(ctx, id, func(ev Event) {
+			if progress != nil && ev.Name == "progress" && ev.Status.Progress != nil {
+				progress(*ev.Status.Progress)
+			}
+		})
+		if err == nil {
+			return st, nil
 		}
-	})
-	if err == nil {
-		return st, nil
-	}
-	if ctx.Err() != nil {
-		return nil, ctx.Err()
-	}
-	// Stream broke mid-job (proxy hiccup, server restart of the
-	// listener, ...): poll until terminal.
-	for {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		// The stream broke mid-job. The job may have reached its terminal
+		// state during the gap, so reconcile before reconnecting.
 		st, gerr := c.Get(ctx, id)
 		if gerr != nil {
-			return nil, fmt.Errorf("service: event stream failed (%v); poll failed: %w", err, gerr)
+			return nil, fmt.Errorf("service: event stream failed (%v); status check failed: %w", err, gerr)
 		}
 		if st.State.Terminal() {
 			return st, nil
 		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(250 * time.Millisecond):
+		c.sseReconnects.Add(1)
+		if err := chaos.Sleep(ctx, c.retryDelay(attempt+1)); err != nil {
+			return nil, err
 		}
 	}
 }

@@ -1,0 +1,310 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"setconsensus/internal/chaos"
+)
+
+// TestClientDefaultIsNotDefaultClient pins the satellite fix: the
+// zero-value client must get the package's transport-configured client,
+// never the bare no-timeout http.DefaultClient.
+func TestClientDefaultIsNotDefaultClient(t *testing.T) {
+	c := &Client{Base: "http://127.0.0.1:0"}
+	if c.http() == http.DefaultClient {
+		t.Fatal("zero-value client uses http.DefaultClient")
+	}
+	if c.http() != defaultHTTPClient {
+		t.Fatal("zero-value client did not get the shared default")
+	}
+	tr, ok := defaultHTTPClient.Transport.(*http.Transport)
+	if !ok {
+		t.Fatal("default client has no configured transport")
+	}
+	if tr.ResponseHeaderTimeout <= 0 || tr.TLSHandshakeTimeout <= 0 {
+		t.Errorf("default transport missing timeouts: %+v", tr)
+	}
+	own := &http.Client{}
+	if (&Client{HTTP: own}).http() != own {
+		t.Error("explicit HTTP client not respected")
+	}
+}
+
+// TestClientPerRequestTimeout: a hung server must not hang a unary
+// call — the per-request deadline fires even with a plain background
+// ctx.
+func TestClientPerRequestTimeout(t *testing.T) {
+	block := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer ts.Close()
+	defer close(block) // unblock the handler before Close waits on it
+	c := &Client{Base: ts.URL, HTTP: ts.Client(), Timeout: 30 * time.Millisecond, Retries: -1}
+	start := time.Now()
+	_, err := c.Get(context.Background(), "x")
+	if err == nil {
+		t.Fatal("Get against a hung server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Get took %v; per-request timeout did not fire", elapsed)
+	}
+}
+
+// TestClientCtxDeadlineRespected: a ctx deadline shorter than the
+// client timeout wins.
+func TestClientCtxDeadlineRespected(t *testing.T) {
+	block := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer ts.Close()
+	defer close(block) // unblock the handler before Close waits on it
+	c := &Client{Base: ts.URL, HTTP: ts.Client(), Retries: -1}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.Get(ctx, "x"); err == nil {
+		t.Fatal("Get outlived its ctx deadline")
+	} else if !errors.Is(err, context.DeadlineExceeded) {
+		t.Logf("error %v (deadline surfaced through transport)", err)
+	}
+}
+
+// TestClientRetriesTransientStatus: 503s are retried with backoff until
+// the budget runs out; a success mid-budget wins.
+func TestClientRetriesTransientStatus(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"draining"}`)
+			return
+		}
+		fmt.Fprint(w, `{"id":"x","kind":"sweep","state":"running","request":{"kind":"sweep","params":{}},"created":"2026-01-01T00:00:00Z"}`)
+	}))
+	defer ts.Close()
+	c := &Client{Base: ts.URL, HTTP: ts.Client(), RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond}
+	st, err := c.Get(context.Background(), "x")
+	if err != nil {
+		t.Fatalf("Get with transient 503s failed: %v", err)
+	}
+	if st.ID != "x" {
+		t.Errorf("status = %+v", st)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+	if got := c.Stats().HTTPRetries; got != 2 {
+		t.Errorf("HTTPRetries = %d, want 2", got)
+	}
+}
+
+// TestClientRetryBudgetExhausted: permanent 503 fails after the budget,
+// and a non-transient status (404) is never retried.
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := &Client{Base: ts.URL, HTTP: ts.Client(), Retries: 2, RetryBase: time.Millisecond}
+	if _, err := c.Get(context.Background(), "x"); err == nil {
+		t.Fatal("Get against permanent 503 succeeded")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3 (1 + 2 retries)", got)
+	}
+
+	calls.Store(0)
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":"no such job"}`)
+	}))
+	defer ts2.Close()
+	c2 := &Client{Base: ts2.URL, HTTP: ts2.Client(), RetryBase: time.Millisecond}
+	if _, err := c2.Get(context.Background(), "x"); err == nil {
+		t.Fatal("Get for missing job succeeded")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("404 retried: server saw %d requests, want 1", got)
+	}
+}
+
+// TestClientInjectedHTTPError: the chaos injection point fails the
+// request before it reaches the wire, and the retry path absorbs it.
+func TestClientInjectedHTTPError(t *testing.T) {
+	inj, err := chaos.NewSeeded(chaos.Config{Budget: map[chaos.Point]int{chaos.PointHTTPError: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		fmt.Fprint(w, `{"id":"x","kind":"sweep","state":"running","request":{"kind":"sweep","params":{}},"created":"2026-01-01T00:00:00Z"}`)
+	}))
+	defer ts.Close()
+	c := &Client{Base: ts.URL, HTTP: ts.Client(), RetryBase: time.Millisecond, Chaos: inj}
+	if _, err := c.Get(context.Background(), "x"); err != nil {
+		t.Fatalf("Get with one injected fault failed: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want 1 (injection fires before the wire)", got)
+	}
+	if got := c.Stats().HTTPRetries; got != 1 {
+		t.Errorf("HTTPRetries = %d, want 1", got)
+	}
+}
+
+// TestWaitReconnectsBrokenStream: a stream that dies before the
+// terminal event must be reconnected (after a status reconcile), and
+// the terminal event of the second stream wins.
+func TestWaitReconnectsBrokenStream(t *testing.T) {
+	var streams atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/x", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"id":"x","kind":"sweep","state":"running","request":{"kind":"sweep","params":{}},"created":"2026-01-01T00:00:00Z"}`)
+	})
+	mux.HandleFunc("GET /v1/jobs/x/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		if streams.Add(1) == 1 {
+			// First stream: one progress frame, then the connection dies
+			// with no terminal event.
+			fmt.Fprint(w, "event: progress\ndata: {\"id\":\"x\",\"state\":\"running\",\"kind\":\"sweep\",\"request\":{\"kind\":\"sweep\",\"params\":{}},\"created\":\"2026-01-01T00:00:00Z\",\"progress\":{\"stage\":\"sweep\",\"runs\":7}}\n\n")
+			return
+		}
+		fmt.Fprint(w, "event: done\ndata: {\"id\":\"x\",\"state\":\"done\",\"kind\":\"sweep\",\"request\":{\"kind\":\"sweep\",\"params\":{}},\"created\":\"2026-01-01T00:00:00Z\"}\n\n")
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, HTTP: ts.Client(), RetryBase: time.Millisecond}
+	var sawProgress atomic.Bool
+	st, err := c.Wait(context.Background(), "x", func(JobProgress) { sawProgress.Store(true) })
+	if err != nil {
+		t.Fatalf("Wait across a broken stream failed: %v", err)
+	}
+	if st.State != StateDone {
+		t.Errorf("state = %s, want %s", st.State, StateDone)
+	}
+	if !sawProgress.Load() {
+		t.Error("progress event from the first stream lost")
+	}
+	if got := streams.Load(); got != 2 {
+		t.Errorf("server saw %d streams, want 2", got)
+	}
+	if got := c.Stats().SSEReconnects; got != 1 {
+		t.Errorf("SSEReconnects = %d, want 1", got)
+	}
+}
+
+// TestWaitReconcilesTerminalDuringGap: if the job finishes while the
+// stream is down, the status reconcile returns it without reconnecting.
+func TestWaitReconcilesTerminalDuringGap(t *testing.T) {
+	var streams atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/x", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"id":"x","kind":"sweep","state":"done","request":{"kind":"sweep","params":{}},"created":"2026-01-01T00:00:00Z"}`)
+	})
+	mux.HandleFunc("GET /v1/jobs/x/events", func(w http.ResponseWriter, r *http.Request) {
+		streams.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		// Dies immediately, terminal never delivered over SSE.
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := &Client{Base: ts.URL, HTTP: ts.Client(), RetryBase: time.Millisecond}
+	st, err := c.Wait(context.Background(), "x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Errorf("state = %s, want %s", st.State, StateDone)
+	}
+	if got := streams.Load(); got != 1 {
+		t.Errorf("server saw %d streams, want 1 (terminal found by reconcile)", got)
+	}
+	if got := c.Stats().SSEReconnects; got != 0 {
+		t.Errorf("SSEReconnects = %d, want 0", got)
+	}
+}
+
+// TestInjectedSSEDisconnectEndToEnd severs every stream of a real job
+// service via the chaos point; SubmitAndWait must still return the
+// job's terminal state through reconcile/reconnect.
+func TestInjectedSSEDisconnectEndToEnd(t *testing.T) {
+	srv, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	inj, err := chaos.NewSeeded(chaos.Config{Prob: map[chaos.Point]float64{chaos.PointSSEDisconnect: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Client{Base: ts.URL, HTTP: ts.Client(), RetryBase: time.Millisecond, Chaos: inj}
+	st, err := c.SubmitAndWait(context.Background(), JobRequest{
+		Kind: KindSweep, Refs: []string{"optmin"}, Workload: "space:n=3,t=1,r=2,v=0..1",
+	}, nil)
+	if err != nil {
+		t.Fatalf("SubmitAndWait with severed streams failed: %v", err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", st.State, st.Error)
+	}
+	if st.Summary == nil {
+		t.Fatal("no summary")
+	}
+	if inj.Counts()[chaos.PointSSEDisconnect] == 0 {
+		t.Error("sse disconnect never fired")
+	}
+}
+
+// TestTransientDetection pins the classifier.
+func TestTransientDetection(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"injected", errInjectedHTTP, true},
+		{"502", &statusError{code: 502, msg: "bad gateway"}, true},
+		{"503", &statusError{code: 503, msg: "unavailable"}, true},
+		{"504", &statusError{code: 504, msg: "gw timeout"}, true},
+		{"404", &statusError{code: 404, msg: "not found"}, false},
+		{"400", &statusError{code: 400, msg: "bad request"}, false},
+		{"conn refused", errors.New("dial tcp 127.0.0.1:1: connection refused"), true},
+		{"plain", errors.New("something else"), false},
+	} {
+		if got := transient(ctx, tc.err); got != tc.want {
+			t.Errorf("transient(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if transient(cctx, errInjectedHTTP) {
+		t.Error("cancelled ctx still retried")
+	}
+	if !strings.Contains((&statusError{code: 503, msg: "service: server 503: x"}).Error(), "503") {
+		t.Error("statusError lost its message")
+	}
+}

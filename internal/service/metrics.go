@@ -27,6 +27,9 @@ type metrics struct {
 	runKitMisses  atomic.Int64
 	chunkHits     atomic.Int64 // feeder chunk pool hits/misses, per EngineStats
 	chunkMisses   atomic.Int64
+
+	sseOpened atomic.Int64 // event streams opened, cumulative
+	sseBroken atomic.Int64 // event streams that ended before the terminal event
 }
 
 // snapshot renders every counter for JSON and expvar consumers.
@@ -46,6 +49,8 @@ func (m *metrics) snapshot() map[string]int64 {
 		"pool_runkit_miss": m.runKitMisses.Load(),
 		"pool_chunk_hits":  m.chunkHits.Load(),
 		"pool_chunk_miss":  m.chunkMisses.Load(),
+		"sse_opened":       m.sseOpened.Load(),
+		"sse_broken":       m.sseBroken.Load(),
 	}
 }
 

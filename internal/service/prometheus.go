@@ -44,6 +44,8 @@ var promHelp = map[string]string{
 	"pool_runkit_miss": "Per-worker run-kit pool checkouts that allocated fresh, cumulative.",
 	"pool_chunk_hits":  "Sweep feeder chunk pool checkouts served warm, cumulative.",
 	"pool_chunk_miss":  "Sweep feeder chunk pool checkouts that allocated fresh, cumulative.",
+	"sse_opened":       "Job event streams opened, cumulative.",
+	"sse_broken":       "Job event streams that ended before delivering the terminal event, cumulative.",
 }
 
 // writePrometheus renders one snapshot in deterministic (sorted) key

@@ -63,6 +63,12 @@ setconsensusd_runs_per_sec 0
 # HELP setconsensusd_runs_total Protocol runs folded across all jobs, cumulative.
 # TYPE setconsensusd_runs_total counter
 setconsensusd_runs_total 0
+# HELP setconsensusd_sse_broken Job event streams that ended before delivering the terminal event, cumulative.
+# TYPE setconsensusd_sse_broken counter
+setconsensusd_sse_broken 0
+# HELP setconsensusd_sse_opened Job event streams opened, cumulative.
+# TYPE setconsensusd_sse_opened counter
+setconsensusd_sse_opened 0
 `
 	if got := rec.Body.String(); got != want {
 		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)

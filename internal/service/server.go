@@ -291,7 +291,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ch := j.subscribe()
+	s.metrics.sseOpened.Add(1)
 	if !serveSSE(w, r, ch) {
+		// Client went away (or the write failed) before the terminal
+		// event: a broken stream the client is expected to reconnect.
+		s.metrics.sseBroken.Add(1)
 		j.unsubscribe(ch)
 	}
 }

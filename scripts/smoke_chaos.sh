@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Chaos smoke test, run by the CI `smoke-chaos` job and runnable
+# locally: build the CLI, take a faultless single-process sweep as the
+# reference, then (1) run a coordinated sweep under a seeded fault
+# schedule — worker crashes, stragglers, dropped and duplicated
+# completions, one torn checkpoint write — and assert its stdout is
+# byte-identical to the reference while the stderr tally proves faults
+# actually fired; (2) truncate the primary checkpoint as a torn write
+# would and assert the re-run falls back to the .bak of the last good
+# state and still renders the identical table.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== build"
+go build -o "$workdir/setconsensus" ./cmd/setconsensus
+
+# Same sizing as smoke_coord.sh: ~64 ranges, O(seconds) in CI. The
+# lease is short so dropped completions re-issue quickly instead of
+# stalling the run for the default 30s.
+workload="space:n=5,t=2,r=2,v=0..1"
+protocols="optmin,upmin"
+range_size=2048
+ckpt="$workdir/chaos.ckpt"
+spec="seed=1337,crash=0.04,straggler=0.15,delay=5ms,drop=0.5#2,dup=0.1,torn#1"
+
+echo "== faultless single-process reference sweep"
+"$workdir/setconsensus" -protocol "$protocols" -workload "$workload" \
+    >"$workdir/mono.txt"
+
+echo "== coordinated sweep under chaos: $spec"
+"$workdir/setconsensus" -coordinate -workers 3 -range-size "$range_size" \
+    -lease 1s -chaos "$spec" -checkpoint "$ckpt" \
+    -protocol "$protocols" -workload "$workload" \
+    >"$workdir/chaos.txt" 2>"$workdir/chaos.err"
+diff -u "$workdir/mono.txt" "$workdir/chaos.txt"
+echo "   chaotic output identical to faultless single-process run"
+
+grep '^chaos: injected ' "$workdir/chaos.err" || {
+    echo "FAIL: no chaos tally on stderr"
+    cat "$workdir/chaos.err"
+    exit 1
+}
+if grep -q '^chaos: injected none$' "$workdir/chaos.err"; then
+    echo "FAIL: fault schedule fired nothing"
+    cat "$workdir/chaos.err"
+    exit 1
+fi
+# The torn#1 budget guarantees at least the torn-write fault fired.
+grep -q '^chaos: injected .*torn=1' "$workdir/chaos.err" || {
+    echo "FAIL: torn checkpoint write did not fire"
+    cat "$workdir/chaos.err"
+    exit 1
+}
+grep '^coord: ' "$workdir/chaos.err"
+
+echo "== checkpoint integrity: v2 schema, sealed, with a .bak sibling"
+python3 - "$ckpt.bak" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d['version'] == 2, d['version']
+assert d.get('checksum'), 'no integrity checksum'
+assert d['exhausted'] and not d['pending'], 'final .bak is not the completed state'
+print('   .bak holds the sealed final state (%d ranges done)' % len(d['done']))
+EOF
+
+echo "== truncate the primary checkpoint; re-run must fall back to .bak"
+python3 - "$ckpt" <<'EOF'
+import sys
+blob = open(sys.argv[1], 'rb').read()
+open(sys.argv[1], 'wb').write(blob[:len(blob)//2])
+EOF
+"$workdir/setconsensus" -coordinate -workers 3 -range-size "$range_size" \
+    -lease 1s -chaos "seed=7" -checkpoint "$ckpt" \
+    -protocol "$protocols" -workload "$workload" \
+    >"$workdir/resumed.txt" 2>"$workdir/resumed.err"
+diff -u "$workdir/mono.txt" "$workdir/resumed.txt"
+grep -q 'ckpt-fallbacks=1' "$workdir/resumed.err" || {
+    echo "FAIL: resume did not report the .bak fallback"
+    cat "$workdir/resumed.err"
+    exit 1
+}
+echo "   torn primary recovered from .bak; output identical"
+
+echo "smoke ok"

@@ -73,7 +73,8 @@ print(len(json.load(open('$ckpt'))['done']))") ranges done"
     python3 -c "
 import json, sys
 d = json.load(open('$ckpt'))
-assert d['version'] == 1, d['version']
+assert d['version'] == 2, d['version']
+assert d.get('checksum'), 'checkpoint carries no integrity checksum'
 assert len(d['done']) >= 1, 'no completed ranges in checkpoint'
 assert d['pending'] or not d['exhausted'], 'checkpoint already complete; kill landed too late'
 print('   checkpoint is a resumable partial state')
