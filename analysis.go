@@ -6,6 +6,7 @@ import (
 
 	"setconsensus/internal/enum"
 	"setconsensus/internal/experiments"
+	"setconsensus/internal/govern"
 	"setconsensus/internal/knowledge"
 	"setconsensus/internal/model"
 	"setconsensus/internal/unbeat"
@@ -186,7 +187,7 @@ func searchAnalysisSpec(name string, aliases []string, baseRef string, uniform b
 // compile every run of the exhaustive space through the pooled
 // Backend.RunInto / Builder revive path, then shard the candidate tests
 // across the worker pool.
-func (e *Engine) runSearchAnalysis(ctx context.Context, family, baseRef string, cfg searchConfig, progress func(AnalysisProgress)) (*AnalysisReport, error) {
+func (e *Engine) runSearchAnalysis(ctx context.Context, family, baseRef string, cfg searchConfig, progress func(AnalysisProgress)) (rep *AnalysisReport, err error) {
 	if e.backend.Kind() != Oracle {
 		return nil, fmt.Errorf("engine: analysis %q simulates full-information deviation rules and requires the Oracle backend (have %s)",
 			family, e.backend.Kind())
@@ -235,7 +236,18 @@ func (e *Engine) runSearchAnalysis(ctx context.Context, family, baseRef string, 
 	sink := unbeat.NewProgressSink(progress)
 	sink.Stage("compile", 0)
 	kit := e.getKit(true)
-	defer e.putKit(kit)
+	// Panic isolation for the compile stage: protocol code runs here in
+	// the calling goroutine, so a panic is converted into a typed
+	// analysis failure and the kit — possibly mid-mutation — is
+	// discarded instead of repooled.
+	defer func() {
+		if pe := govern.Recovered("engine: analysis compile", recover()); pe != nil {
+			rep, err = nil, pe
+			e.discardKit(kit)
+			return
+		}
+		e.putKit(kit)
+	}()
 	req := &kit.buf.req
 	var aerr error
 	err = space.ForEach(func(adv *model.Adversary) bool {
@@ -267,7 +279,7 @@ func (e *Engine) runSearchAnalysis(ctx context.Context, family, baseRef string, 
 	}
 	sink.Finish()
 
-	rep, err := comp.Compiled().Search(ctx, unbeat.SearchOptions{
+	srep, err := comp.Compiled().Search(ctx, unbeat.SearchOptions{
 		Parallelism: e.params.Parallelism,
 		Progress:    progress,
 	})
@@ -277,7 +289,7 @@ func (e *Engine) runSearchAnalysis(ctx context.Context, family, baseRef string, 
 	return &AnalysisReport{
 		Family: family, Workload: space.Label(),
 		N: cfg.n, T: cfg.t, K: k,
-		Search: rep,
+		Search: srep,
 	}, nil
 }
 

@@ -62,6 +62,11 @@ type RunBuffer struct {
 // NewRunBuffer returns an empty buffer ready for RunInto.
 func NewRunBuffer() *RunBuffer { return &RunBuffer{} }
 
+// Bytes reports the pooled scratch capacity the buffer pins — the
+// decision slab and the verification sets, the parts that grow with the
+// workload. The fixed-size struct shell is noise and not counted.
+func (b *RunBuffer) Bytes() int64 { return b.sim.Bytes() + b.verify.Bytes() }
+
 // verifyResult checks a pooled result against task using only the
 // buffer's reusable storage; nothing allocates unless a violation
 // renders its diagnostic.

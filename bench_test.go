@@ -12,6 +12,7 @@ import (
 	setconsensus "setconsensus"
 	"setconsensus/internal/core"
 	"setconsensus/internal/experiments"
+	"setconsensus/internal/govern"
 	"setconsensus/internal/knowledge"
 	"setconsensus/internal/model"
 	"setconsensus/internal/sim"
@@ -278,6 +279,37 @@ func BenchmarkSweepSource(b *testing.B) {
 		if _, err := eng.SweepSource(ctx, sweepSpaceRefs, src); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkGovernedSweep is BenchmarkSweepSource with a resource
+// governor attached (unlimited ceilings, so the retain path stays hot):
+// its distance from BenchmarkSweepSource is the whole cost of byte
+// metering on the sweep path. The governance acceptance is <2% ns/op
+// and zero extra allocations — metering rides the existing ensure/pool
+// choke points, it does not add per-run work.
+func BenchmarkGovernedSweep(b *testing.B) {
+	src, err := setconsensus.SpaceSource(sweepSpace())
+	if err != nil {
+		b.Fatal(err)
+	}
+	gov := govern.New(0, 0)
+	eng := setconsensus.New(
+		setconsensus.WithCrashBound(2),
+		setconsensus.WithGraphCache(0),
+		setconsensus.WithGovernor(gov),
+	)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SweepSource(ctx, sweepSpaceRefs, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if gov.Live() == 0 {
+		b.Fatal("governed sweep metered zero bytes — metering is not wired")
 	}
 }
 

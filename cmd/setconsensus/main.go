@@ -64,12 +64,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"syscall"
 
 	setconsensus "setconsensus"
 	"setconsensus/internal/cli"
+	"setconsensus/internal/govern"
 )
 
 func main() {
@@ -90,10 +92,22 @@ func main() {
 	analyze := flag.String("analyze", "", "named analysis to run, e.g. \"search:optmin:width=2\" or \"forced:k=3\" (see -list-analyses)")
 	server := flag.String("server", "", "setconsensusd base URL; -workload/-analyze submit as remote jobs, e.g. http://127.0.0.1:8372")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); exits 130 on expiry, like SIGINT/SIGTERM")
+	memLimit := flag.String("memlimit", "", "Go runtime memory limit (GOMEMLIMIT), e.g. 4GiB; empty = unlimited")
 	list := flag.Bool("list", false, "list registered protocols and exit")
 	listWorkloads := flag.Bool("list-workloads", false, "list registered workloads and exit")
 	listAnalyses := flag.Bool("list-analyses", false, "list registered analysis families and exit")
 	flag.Parse()
+
+	if *memLimit != "" {
+		n, err := govern.ParseBytes(*memLimit)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "setconsensus: -memlimit: %v\n", err)
+			os.Exit(2)
+		}
+		if n > 0 {
+			debug.SetMemoryLimit(n)
+		}
+	}
 
 	// A long sweep or analysis must cancel cleanly — worker pools
 	// drained, summaries unwritten rather than half-written — instead of

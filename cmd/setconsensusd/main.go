@@ -14,6 +14,7 @@
 //	GET    /v1/stats            service counters (queue depth, runs/s, ...)
 //	GET    /metrics             the same counters in Prometheus text exposition
 //	GET    /healthz             liveness
+//	GET    /readyz              readiness: 503 while draining or shedding over -memlimit-soft
 //	GET    /debug/vars          expvar (includes the "setconsensusd" map)
 //	GET    /debug/pprof/        pprof profiles
 //
@@ -45,9 +46,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
+	"setconsensus/internal/chaos"
+	"setconsensus/internal/govern"
 	"setconsensus/internal/service"
 )
 
@@ -69,7 +73,28 @@ func run() error {
 	parallelism := flag.Int("parallelism", def.EngineParallelism, "per-job engine worker-pool size")
 	progressEvery := flag.Duration("progress-interval", def.ProgressInterval, "progress snapshot period")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long running jobs may finish after SIGTERM")
+	memLimit := flag.String("memlimit", "", "hard memory ceiling, e.g. 2GiB: admissions over it are rejected 429, and the Go runtime memory limit (GOMEMLIMIT) is set to match; empty = unlimited")
+	memSoft := flag.String("memlimit-soft", "", "soft memory ceiling, e.g. 1500MiB: over it the server stops recycling pooled buffers, sheds submissions 429, and flips /readyz to 503; empty = unlimited")
+	progressDeadline := flag.Duration("progress-deadline", 0, "stuck-job watchdog: cancel a running job whose progress has not advanced within this duration (0 = off)")
+	chaosSpec := flag.String("chaos", "", "fault-injection spec, e.g. \"panic#1\" (panic inside the first job's worker); test/smoke surface")
 	flag.Parse()
+
+	hardMem, err := govern.ParseBytes(*memLimit)
+	if err != nil {
+		return fmt.Errorf("setconsensusd: -memlimit: %w", err)
+	}
+	softMem, err := govern.ParseBytes(*memSoft)
+	if err != nil {
+		return fmt.Errorf("setconsensusd: -memlimit-soft: %w", err)
+	}
+	var injector chaos.Injector
+	if *chaosSpec != "" {
+		inj, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		injector = inj
+	}
 
 	p := service.Params{
 		Addr:              *addr,
@@ -80,10 +105,20 @@ func run() error {
 		ResultBound:       *results,
 		EngineParallelism: *parallelism,
 		ProgressInterval:  *progressEvery,
+		SoftMemBytes:      softMem,
+		HardMemBytes:      hardMem,
+		ProgressDeadline:  *progressDeadline,
+		Chaos:             injector,
 	}
 	srv, err := service.New(p)
 	if err != nil {
 		return err
+	}
+	if hardMem > 0 {
+		// The admission ceiling meters arena/pool bytes; the runtime
+		// limit is the GC-level backstop covering everything else the
+		// process allocates. Same number, two enforcement layers.
+		debug.SetMemoryLimit(hardMem)
 	}
 	srv.Start()
 

@@ -226,6 +226,29 @@
 //	            automatically on resume (version and identity
 //	            mismatches still reject with typed errors)
 //
+// The resource-governance vocabulary (PR 9, internal/govern):
+//
+//	ceiling     a byte limit over the governor's live account of metered
+//	            arena/pool bytes: the soft ceiling stops pool retention
+//	            and starts shedding, the hard ceiling rejects new
+//	            admissions with the typed ErrMemoryBudget — running
+//	            work is never aborted for memory
+//	shedding    the over-soft-ceiling mode: pools free released buffers
+//	            instead of recycling them and the service answers new
+//	            submissions 429 with Retry-After; latched with
+//	            ShedHoldoff of hysteresis so the signal decays by time,
+//	            not with the microsecond-scale oscillation of the
+//	            account
+//	readiness   GET /readyz: 200 when accepting work, 503 while
+//	            shedding or draining — the load-balancer signal, as
+//	            opposed to /healthz liveness
+//	watchdog    the stuck-job monitor: progress callbacks Touch an
+//	            atomic clock, and a job whose clock stops advancing for
+//	            the progress deadline is cancelled with the typed
+//	            ErrStalled cause; a recovered worker panic likewise
+//	            becomes a typed *PanicError job failure with the
+//	            panic-origin stack retained, never a dead daemon
+//
 // Workers come in two transports behind one interface: in-process
 // Engines sweeping RangeSource windows, and setconsensusd servers
 // (-join) receiving range-scoped jobs — a JobRequest carrying offset

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"setconsensus/internal/agg"
+	"setconsensus/internal/govern"
 	"setconsensus/internal/knowledge"
 	"setconsensus/internal/model"
 )
@@ -51,10 +52,28 @@ type Engine struct {
 	backend  Backend
 	err      error // construction error, surfaced by every call
 
-	// kits recycles the per-worker aggregation state (RunBuffer,
+	// gov, when set, meters the byte capacity of everything the engine
+	// recycles (builder arenas, run-kit slabs, sweep chunks) and gates
+	// retention: while the governor sheds, release paths free buffers to
+	// the GC instead of pooling them. nil means ungoverned.
+	gov ResourceGovernor
+
+	// kitMu/kitFree recycle the per-worker aggregation state (RunBuffer,
 	// knowledge Builder) across SweepSource calls, so repeated sweeps on
-	// one engine pay no per-sweep warm-up allocations.
-	kits sync.Pool
+	// one engine pay no per-sweep warm-up allocations. An explicit
+	// bounded freelist instead of a sync.Pool: the governor's account
+	// must see every buffer enter and leave, and sync.Pool's GC shedding
+	// would strand accounted bytes it silently dropped.
+	kitMu   sync.Mutex
+	kitFree []*runKit
+
+	// chunkMu/chunkFree recycle the feeder's sweepChunk arrays, bounded
+	// the same way; chunkBytes is the engine's receipt of every chunk
+	// byte currently accounted to the governor (pooled or in flight), so
+	// Close can return the remainder even for chunks a panic dropped.
+	chunkMu    sync.Mutex
+	chunkFree  []*sweepChunk
+	chunkBytes atomic.Int64
 
 	// statBuilt/statRevived accumulate the builder counts harvested when
 	// a worker returns its kit — the engine-wide "graphs rebuilt vs
@@ -64,12 +83,13 @@ type Engine struct {
 	statBuilt   atomic.Int64
 	statRevived atomic.Int64
 
-	// Pool hit-rate counters: a hit is a Get served from the pool, a miss
-	// a fresh allocation. statKit* meters the per-worker runKit pool
-	// (RunBuffer + builder arena — the expensive warm-up state), statChunk*
-	// the feeder's sweepChunk pool. Under GC pressure sync.Pool sheds its
-	// contents, so a falling hit rate is the observable symptom of pooled
-	// sweeps losing their warm buffers.
+	// Pool hit-rate counters: a hit is a checkout served from the
+	// freelist, a miss a fresh allocation. statKit* meters the
+	// per-worker runKit pool (RunBuffer + builder arena — the expensive
+	// warm-up state), statChunk* the feeder's sweepChunk pool. While the
+	// governor sheds, release paths drop buffers instead of repooling
+	// them, so a falling hit rate is the observable symptom of sweeps
+	// running over the soft memory ceiling.
 	statKitHit    atomic.Int64
 	statKitMiss   atomic.Int64
 	statChunkHit  atomic.Int64
@@ -177,6 +197,7 @@ func newEngine(cfg engineConfig) *Engine {
 		params:   cfg.params,
 		reg:      cfg.reg,
 		analyses: cfg.analyses,
+		gov:      cfg.gov,
 		graphs:   make(map[graphKey]*knowledge.Graph),
 		fps:      make(map[*model.Adversary]string),
 		protos:   make(map[protoKey]protoEntry),
@@ -343,12 +364,13 @@ func (e *Engine) CachedGraphs() int {
 // builds versus same-pattern revives on the arena-recycling path (graph
 // cache disabled, and every analysis compile stage); CachedGraphs is the
 // current cache population on the caching path.
-// The pool hit-rate pairs meter the two sync.Pools behind aggregating
+// The pool hit-rate pairs meter the two freelists behind aggregating
 // sweeps: RunKitHits/RunKitMisses count per-worker runKit (RunBuffer +
 // builder arena) checkouts served warm from the pool versus freshly
 // allocated, and ChunkHits/ChunkMisses the same for the feeder's
 // sweepChunk arrays. A steady sweep's hit rate converges to ~1; misses
-// growing mid-sweep mean the GC is shedding pooled buffers.
+// growing mid-sweep mean the governor is shedding pooled buffers over
+// the soft memory ceiling.
 type EngineStats struct {
 	GraphsRebuilt int64 `json:"graphsRebuilt"`
 	GraphsRevived int64 `json:"graphsRevived"`
@@ -502,22 +524,36 @@ func chunkSizeFor(count int, known bool, workers int) int {
 }
 
 // sweepChunk is one work unit: a run of consecutive adversaries and the
-// global index of the first. Chunks recycle through chunkPool — the
-// feeder takes one, fills it, and hands it to a worker, which releases
-// it after its last adversary is processed — so a streaming sweep
-// allocates a bounded handful of chunk arrays regardless of workload
-// size.
+// global index of the first. Chunks recycle through the engine's
+// bounded freelist — the feeder takes one, fills it, and hands it to a
+// worker, which releases it after its last adversary is processed — so
+// a streaming sweep allocates a bounded handful of chunk arrays
+// regardless of workload size. metered is the chunk's share of the
+// governor's account (8 bytes per pointer of capacity), zero on
+// ungoverned engines.
 type sweepChunk struct {
-	base int
-	advs []*Adversary
+	base    int
+	advs    []*Adversary
+	metered int64
 }
 
-var chunkPool sync.Pool // holds *sweepChunk; Get returns nil on a miss
+// chunkPoolBound bounds the chunk freelist: at most workers+feeder
+// chunks are ever in flight, so anything beyond that headroom is churn
+// from a finished sweep.
+func (e *Engine) chunkPoolBound() int { return e.params.Parallelism + 2 }
 
 // newChunk takes a pooled chunk ready to hold size adversaries starting
-// at global index base, metering the engine's chunk-pool hit rate.
+// at global index base, metering the engine's chunk-pool hit rate and,
+// under a governor, the array capacity it creates.
 func (e *Engine) newChunk(base, size int) *sweepChunk {
-	c, _ := chunkPool.Get().(*sweepChunk)
+	e.chunkMu.Lock()
+	var c *sweepChunk
+	if n := len(e.chunkFree); n > 0 {
+		c = e.chunkFree[n-1]
+		e.chunkFree[n-1] = nil
+		e.chunkFree = e.chunkFree[:n-1]
+	}
+	e.chunkMu.Unlock()
 	if c == nil {
 		c = new(sweepChunk)
 		e.statChunkMiss.Add(1)
@@ -527,18 +563,47 @@ func (e *Engine) newChunk(base, size int) *sweepChunk {
 	c.base = base
 	if cap(c.advs) < size {
 		c.advs = make([]*Adversary, 0, size)
+		if e.gov != nil {
+			if d := 8*int64(cap(c.advs)) - c.metered; d != 0 {
+				e.gov.Grow(d)
+				e.chunkBytes.Add(d)
+				c.metered += d
+			}
+		}
 	} else {
 		c.advs = c.advs[:0]
 	}
 	return c
 }
 
+// dropChunk returns a retired chunk's accounted bytes to the governor.
+func (e *Engine) dropChunk(c *sweepChunk) {
+	if e.gov != nil && c.metered != 0 {
+		e.gov.Shrink(c.metered)
+		e.chunkBytes.Add(-c.metered)
+		c.metered = 0
+	}
+}
+
 // releaseChunk clears the adversary pointers — a pooled array must not
-// pin a dropped workload — and returns the chunk to the pool.
-func releaseChunk(c *sweepChunk) {
+// pin a dropped workload — and returns the chunk to the freelist,
+// unless the governor is shedding (or the freelist is full), in which
+// case the chunk is dropped and its bytes returned to the account.
+func (e *Engine) releaseChunk(c *sweepChunk) {
 	clear(c.advs[:cap(c.advs)])
 	c.advs = c.advs[:0]
-	chunkPool.Put(c)
+	if e.gov != nil && !e.gov.Retain() {
+		e.dropChunk(c)
+		return
+	}
+	e.chunkMu.Lock()
+	if len(e.chunkFree) < e.chunkPoolBound() {
+		e.chunkFree = append(e.chunkFree, c)
+		e.chunkMu.Unlock()
+		return
+	}
+	e.chunkMu.Unlock()
+	e.dropChunk(c)
 }
 
 // sweepExec is the shared executor skeleton behind every sweep variant:
@@ -601,9 +666,17 @@ func (e *Engine) sweepExec(ctx context.Context, refs []string, src Source, body 
 
 	// The feeder pulls from the source iterator and hands out chunks; it
 	// runs aside the workers so unbounded sources never buffer more than
-	// one chunk ahead.
+	// one chunk ahead. Source iterators run arbitrary workload code, so
+	// a panic there is converted into a typed sweep failure rather than
+	// a process crash; the recovery defer runs before close(jobs), so
+	// the workers still drain and exit cleanly.
 	go func() {
 		defer close(jobs)
+		defer func() {
+			if pe := govern.Recovered("engine: sweep feeder", recover()); pe != nil {
+				fail(pe)
+			}
+		}()
 		next := 0
 		var chunk *sweepChunk
 		send := func() bool {
@@ -612,7 +685,7 @@ func (e *Engine) sweepExec(ctx context.Context, refs []string, src Source, body 
 				chunk = nil
 				return true
 			case <-ctx.Done():
-				releaseChunk(chunk)
+				e.releaseChunk(chunk)
 				chunk = nil
 				return false
 			}
@@ -645,7 +718,12 @@ func (e *Engine) sweepExec(ctx context.Context, refs []string, src Source, body 
 // protocol indices. Aggregating sweeps use sweepAggregate instead,
 // which replaces deliver with per-worker folding.
 func (e *Engine) sweep(ctx context.Context, refs []string, src Source, deliver func(advIdx, refIdx int, r *Result)) error {
-	return e.sweepExec(ctx, refs, src, func(ctx context.Context, specs []*ProtocolSpec, jobs <-chan *sweepChunk) error {
+	return e.sweepExec(ctx, refs, src, func(ctx context.Context, specs []*ProtocolSpec, jobs <-chan *sweepChunk) (err error) {
+		// Worker-level panic isolation: a panicking protocol becomes a
+		// typed sweep error (stack captured at the recovery site), the
+		// other workers drain via the shared cancel, and the process
+		// lives on.
+		defer govern.Capture("engine: sweep worker", &err)
 		var memo protoMemo
 		for chunk := range jobs {
 			for i, adv := range chunk.advs {
@@ -653,7 +731,7 @@ func (e *Engine) sweep(ctx context.Context, refs []string, src Source, deliver f
 					return err
 				}
 			}
-			releaseChunk(chunk)
+			e.releaseChunk(chunk)
 		}
 		return nil
 	})
@@ -669,9 +747,20 @@ func (e *Engine) sweep(ctx context.Context, refs []string, src Source, deliver f
 // scales with Parallelism instead of flatlining on an aggregator lock.
 func (e *Engine) sweepAggregate(ctx context.Context, refs []string, src Source, a *Aggregator) error {
 	recycleGraphs := e.params.GraphCache == 0 && e.backend.NeedsGraph()
-	return e.sweepExec(ctx, refs, src, func(ctx context.Context, specs []*ProtocolSpec, jobs <-chan *sweepChunk) error {
+	return e.sweepExec(ctx, refs, src, func(ctx context.Context, specs []*ProtocolSpec, jobs <-chan *sweepChunk) (err error) {
 		kit := e.getKit(recycleGraphs)
-		defer e.putKit(kit)
+		// Worker-level panic isolation, innermost so the captured stack
+		// keeps the panic-origin frames: a panicking protocol run
+		// becomes a typed sweep error, and the kit — possibly left
+		// mid-mutation — is discarded rather than repooled.
+		defer func() {
+			if pe := govern.Recovered("engine: sweep worker", recover()); pe != nil {
+				err = pe
+				e.discardKit(kit)
+				return
+			}
+			e.putKit(kit)
+		}()
 		shard := make([]agg.Acc, len(refs))
 		var memo protoMemo
 		for chunk := range jobs {
@@ -680,7 +769,7 @@ func (e *Engine) sweepAggregate(ctx context.Context, refs []string, src Source, 
 					return err
 				}
 			}
-			releaseChunk(chunk)
+			e.releaseChunk(chunk)
 		}
 		a.mergeShard(shard)
 		return nil
@@ -690,14 +779,28 @@ func (e *Engine) sweepAggregate(ctx context.Context, refs []string, src Source, 
 // runKit is the pooled per-worker state of an aggregating sweep: the
 // RunBuffer behind Backend.RunInto and, when graph recycling applies,
 // the worker's knowledge Builder. Kits recycle through the engine's
-// pool so repeated sweeps reuse warmed-up buffers.
+// bounded freelist so repeated sweeps reuse warmed-up buffers; bufBytes
+// is the RunBuffer capacity last reported to the governor.
 type runKit struct {
-	buf     *RunBuffer
-	builder *knowledge.Builder
+	buf      *RunBuffer
+	builder  *knowledge.Builder
+	bufBytes int64
 }
 
+// kitPoolBound bounds the kit freelist: one sweep checks out at most
+// Parallelism kits, so that is the steady-state working set worth
+// keeping warm.
+func (e *Engine) kitPoolBound() int { return e.params.Parallelism }
+
 func (e *Engine) getKit(recycleGraphs bool) *runKit {
-	kit, _ := e.kits.Get().(*runKit)
+	e.kitMu.Lock()
+	var kit *runKit
+	if n := len(e.kitFree); n > 0 {
+		kit = e.kitFree[n-1]
+		e.kitFree[n-1] = nil
+		e.kitFree = e.kitFree[:n-1]
+	}
+	e.kitMu.Unlock()
 	if kit == nil {
 		kit = &runKit{buf: NewRunBuffer()}
 		e.statKitMiss.Add(1)
@@ -706,17 +809,93 @@ func (e *Engine) getKit(recycleGraphs bool) *runKit {
 	}
 	if recycleGraphs && kit.builder == nil {
 		kit.builder = knowledge.NewBuilder()
+		if e.gov != nil {
+			kit.builder.SetMeter(e.gov)
+		}
 	}
 	return kit
 }
 
+// putKit harvests the kit's builder counters, settles its RunBuffer
+// byte account, and returns it to the freelist — unless the governor is
+// shedding (or the freelist is full), in which case the kit is
+// discarded and every byte it held goes back to the account.
 func (e *Engine) putKit(kit *runKit) {
+	e.harvestKit(kit)
+	if e.gov != nil {
+		if d := kit.buf.Bytes() - kit.bufBytes; d != 0 {
+			e.gov.Grow(d)
+			kit.bufBytes += d
+		}
+		if !e.gov.Retain() {
+			e.dropKit(kit)
+			return
+		}
+	}
+	e.kitMu.Lock()
+	if len(e.kitFree) < e.kitPoolBound() {
+		e.kitFree = append(e.kitFree, kit)
+		e.kitMu.Unlock()
+		return
+	}
+	e.kitMu.Unlock()
+	e.dropKit(kit)
+}
+
+// harvestKit folds the kit's builder counts into the engine counters.
+func (e *Engine) harvestKit(kit *runKit) {
 	if kit.builder != nil {
 		built, revived := kit.builder.TakeCounts()
 		e.statBuilt.Add(int64(built))
 		e.statRevived.Add(int64(revived))
 	}
-	e.kits.Put(kit)
+}
+
+// dropKit releases a retired kit's accounted bytes: the builder's whole
+// storage account (covering graphs a panic never Released) and the
+// RunBuffer capacity.
+func (e *Engine) dropKit(kit *runKit) {
+	if kit.builder != nil {
+		kit.builder.Discard()
+		kit.builder = nil
+	}
+	if e.gov != nil && kit.bufBytes != 0 {
+		e.gov.Shrink(kit.bufBytes)
+		kit.bufBytes = 0
+	}
+}
+
+// discardKit retires a kit whose state may be corrupt (a recovered
+// panic mid-fold): counters are still harvested, then everything the
+// kit holds is released rather than repooled.
+func (e *Engine) discardKit(kit *runKit) {
+	e.harvestKit(kit)
+	e.dropKit(kit)
+}
+
+// Close releases every pooled buffer the engine retains — warm kits and
+// sweep chunks — and returns their accounted bytes to the governor,
+// including bytes from chunks a panicking worker dropped mid-sweep. The
+// engine stays usable afterwards (pools just start cold); long-running
+// processes that build per-job engines against one shared governor must
+// call it when the job ends, or the account would drift upward with
+// every retired engine's warm buffers. Safe to call repeatedly.
+func (e *Engine) Close() {
+	e.kitMu.Lock()
+	kits := e.kitFree
+	e.kitFree = nil
+	e.kitMu.Unlock()
+	for _, kit := range kits {
+		e.dropKit(kit)
+	}
+	e.chunkMu.Lock()
+	e.chunkFree = nil
+	e.chunkMu.Unlock()
+	if e.gov != nil {
+		if b := e.chunkBytes.Swap(0); b != 0 {
+			e.gov.Shrink(b)
+		}
+	}
 }
 
 // protoMemo is a worker-local memo of the resolved protocol entries and

@@ -49,6 +49,10 @@ const (
 	// PointSSEDisconnect severs a client event stream mid-flight,
 	// exercising SSE reconnect.
 	PointSSEDisconnect Point = "sse"
+	// PointPanic panics inside a running job's worker, exercising the
+	// service's panic isolation: the job must fail typed (stack
+	// retained) while the daemon keeps serving.
+	PointPanic Point = "panic"
 	// PointTornCheckpoint tears a checkpoint write: a truncated blob
 	// reaches the target path instead of the atomic rename, exercising
 	// checksum detection and .bak fallback on the next load.
@@ -58,7 +62,7 @@ const (
 // Points lists every known injection point in stable order.
 var Points = []Point{
 	PointWorkerCrash, PointStraggler, PointDropCompletion, PointDupCompletion,
-	PointHTTPError, PointSSEDisconnect, PointTornCheckpoint,
+	PointHTTPError, PointSSEDisconnect, PointPanic, PointTornCheckpoint,
 }
 
 func knownPoint(p Point) bool {

@@ -48,6 +48,12 @@ type Scratch struct {
 	present, deciders, decided bitset.Set
 }
 
+// Bytes reports the capacity the scratch's three sets pin, for the
+// engine's memory governor.
+func (sc *Scratch) Bytes() int64 {
+	return 8 * int64(cap(sc.present.Words())+cap(sc.deciders.Words())+cap(sc.decided.Words()))
+}
+
 // VerifyRun is the allocation-free form of the package-level VerifyRun:
 // identical verdicts and messages, with every intermediate set drawn
 // from the scratch.

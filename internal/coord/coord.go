@@ -66,6 +66,7 @@ import (
 	setconsensus "setconsensus"
 	"setconsensus/internal/agg"
 	"setconsensus/internal/chaos"
+	"setconsensus/internal/service"
 )
 
 // The typed parameter errors. Validate wraps them with the offending
@@ -197,6 +198,7 @@ func (p Params) Validate() error {
 type rangeState struct {
 	Range
 	attempts  int       // grants so far, bounded by MaxAttempts
+	overloads int       // consecutive shed/429 returns, scales backoff
 	notBefore time.Time // earliest re-issue after a failure
 	worker    string    // current leaseholder, "" when pending
 	expiry    time.Time // lease expiry when leased
@@ -256,6 +258,7 @@ type Coordinator struct {
 	// Robustness counters, snapshotted by Stats.
 	statRetries     int64 // failed ranges re-queued for another attempt
 	statRefunds     int64 // range attempts refunded on breaker trips
+	statOverloads   int64 // overloaded (shedding/429) returns backed off
 	statExpiries    int64 // leases expired and re-issued
 	statTrips       int64 // breaker transitions into quarantine
 	statProbations  int64 // probation trial ranges granted
@@ -307,6 +310,12 @@ type Stats struct {
 	// failure tripped the worker's breaker (fault attributed to the
 	// worker, not the range).
 	AttemptsRefunded int64 `json:"attemptsRefunded"`
+	// OverloadBackoffs counts range returns classified as worker
+	// overload (queue-full/shedding 429, draining 503): the attempt is
+	// refunded and the range re-queued with backoff, without charging
+	// the worker's breaker — a governed fleet sheds, it does not
+	// quarantine healthy-but-busy workers.
+	OverloadBackoffs int64 `json:"overloadBackoffs"`
 	// LeaseExpiries counts leases that expired and were re-issued.
 	LeaseExpiries int64 `json:"leaseExpiries"`
 	// BreakerTrips counts transitions into quarantine.
@@ -333,6 +342,7 @@ func (c *Coordinator) Stats() Stats {
 		RangesDone:          int64(len(c.done)),
 		RangeRetries:        c.statRetries,
 		AttemptsRefunded:    c.statRefunds,
+		OverloadBackoffs:    c.statOverloads,
 		LeaseExpiries:       c.statExpiries,
 		BreakerTrips:        c.statTrips,
 		ProbationGrants:     c.statProbations,
@@ -607,6 +617,23 @@ func (c *Coordinator) complete(ctx context.Context, worker string, rs *rangeStat
 			return
 		}
 		now := time.Now()
+		// Overload (queue-full/shedding 429, draining 503) is the worker
+		// governing itself, not failing: refund the attempt, skip the
+		// breaker, and re-queue with backoff scaled by consecutive
+		// overloads so a ceilinged fleet drains instead of thrashing.
+		if service.IsOverload(err) {
+			rs.overloads++
+			c.statOverloads++
+			if rs.attempts > 0 {
+				rs.attempts--
+			}
+			rs.worker, rs.liveAdv, rs.liveRuns = "", 0, 0
+			rs.notBefore = now.Add(c.backoffFor(rs.overloads))
+			delete(c.leased, off)
+			c.pending = append(c.pending, rs)
+			return
+		}
+		rs.overloads = 0
 		if c.noteWorkerFailureLocked(worker, now) && rs.attempts > 0 {
 			rs.attempts--
 			c.statRefunds++

@@ -3,10 +3,23 @@ package knowledge
 import (
 	"math/bits"
 	"sync"
+	"unsafe"
 
 	"setconsensus/internal/bitset"
 	"setconsensus/internal/model"
 )
+
+// Meter observes the byte deltas of builder-owned storage — the
+// engine's resource governor, reduced to the three calls this package
+// needs. Grow/Shrink report capacity created and freed at the
+// allocation choke points (storage.ensure, the lazy senders slab);
+// Retain gates recycling: when it reports false, Release frees the
+// graph's storage back to the GC instead of parking it as the spare.
+type Meter interface {
+	Grow(bytes int64)
+	Shrink(bytes int64)
+	Retain() bool
+}
 
 // Builder constructs knowledge graphs with buffer reuse: the build-time
 // scratch (hoisted per-round crash sets, assignment frontiers, hidden
@@ -49,10 +62,66 @@ type Builder struct {
 	// returns its kit, turning per-build bookkeeping into two adds.
 	built   int
 	revived int
+
+	// meter, when set, observes every storage byte this builder's graphs
+	// hold; accounted is the running total reported and not yet
+	// shrunk — Discard's receipt for returning everything at once.
+	meter     Meter
+	accounted int64
 }
 
 // NewBuilder returns an empty Builder. The zero value is also usable.
 func NewBuilder() *Builder { return &Builder{} }
+
+// SetMeter attaches a byte meter to the builder. Set it before the
+// first Build: storage allocated while unmetered is never reported.
+func (b *Builder) SetMeter(m Meter) { b.meter = m }
+
+// account reports a storage byte delta to the meter and keeps the
+// builder's receipt in sync.
+func (b *Builder) account(delta int64) {
+	if b == nil || b.meter == nil || delta == 0 {
+		return
+	}
+	b.accounted += delta
+	if delta > 0 {
+		b.meter.Grow(delta)
+	} else {
+		b.meter.Shrink(-delta)
+	}
+}
+
+// Discard drops the builder's retained storage — the parked spare and
+// its revive state — and shrinks the meter by everything the builder
+// still has accounted, covering graphs a panic left un-Released. The
+// builder stays usable; its next Build simply starts cold. Engines call
+// it when a worker kit is retired (shedding, shutdown, or a recovered
+// panic that may have corrupted the kit).
+func (b *Builder) Discard() {
+	b.spare, b.hasSpare, b.spareG, b.lastPat = storage{}, false, nil, nil
+	b.scPat, b.scHorizon, b.scN = nil, 0, 0
+	if b.meter != nil && b.accounted != 0 {
+		if b.accounted > 0 {
+			b.meter.Shrink(b.accounted)
+		} else {
+			b.meter.Grow(-b.accounted)
+		}
+		b.accounted = 0
+	}
+}
+
+// bytes sums the capacity of every storage slab — the quantity the
+// meter accounts. Element sizes come from unsafe.Sizeof, so the account
+// tracks real slab footprints, not guesses.
+func (st *storage) bytes() int64 {
+	const wordSize = int64(unsafe.Sizeof(uint64(0)))
+	return int64(cap(st.arena))*wordSize +
+		int64(cap(st.sets))*int64(unsafe.Sizeof(bitset.Set{})) +
+		int64(cap(st.ptrs))*int64(unsafe.Sizeof((*bitset.Set)(nil))) +
+		int64(cap(st.views))*int64(unsafe.Sizeof(View{})) +
+		int64(cap(st.ints))*int64(unsafe.Sizeof(int(0))) +
+		int64(cap(st.senders))*wordSize
+}
 
 // Build computes the communication graph of adv up to horizon, reusing
 // the builder's scratch and any storage a previous graph released. When
@@ -132,11 +201,23 @@ func (b *Builder) revive(adv *model.Adversary, horizon int) *Graph {
 // retains the graph: its views, sets, and tables are invalidated, and
 // any later query on it will panic or read another graph's data. Graphs
 // built by New do not recycle; Release on them is a no-op.
+//
+// Under a metered builder whose meter refuses retention (the governor's
+// soft ceiling is crossed), Release frees the storage back to the GC
+// instead of parking it as the spare — recycling is the first thing
+// memory pressure turns off.
 func (g *Graph) Release() {
 	if g.owner == nil {
 		return
 	}
 	o := g.owner
+	if o.meter != nil && !o.meter.Retain() {
+		o.account(-g.store.bytes())
+		g.store = storage{}
+		g.knownCrash, g.hiddenCount, g.hc, g.fails, g.minVal = nil, nil, nil, nil, nil
+		g.owner = nil
+		return
+	}
 	o.spare = g.store
 	o.hasSpare = true
 	o.spareG = g
@@ -249,8 +330,15 @@ func (sc *buildScratch) prepare(pat *model.FailurePattern, n, w, h int) {
 // ensure sizes the storage slabs, reusing released capacity when it fits.
 // Only the arena needs zeroing: every other slab is fully overwritten by
 // build, and the stale hiddenCount entries at layers l > m are unreachable
-// through the bounds-checked accessors.
-func (st *storage) ensure(arenaLen, sets, views, ints int) {
+// through the bounds-checked accessors. When the owning builder carries
+// a meter, the capacity delta this call creates is accounted — ensure is
+// the arena allocation choke point the governor watches.
+func (st *storage) ensure(arenaLen, sets, views, ints int, owner *Builder) {
+	var pre int64
+	metered := owner != nil && owner.meter != nil
+	if metered {
+		pre = st.bytes()
+	}
 	st.arena = resizeWords(st.arena, arenaLen)
 	if cap(st.sets) < sets {
 		st.sets = make([]bitset.Set, sets)
@@ -268,6 +356,9 @@ func (st *storage) ensure(arenaLen, sets, views, ints int) {
 		st.ints = make([]int, ints)
 	}
 	st.ints = st.ints[:ints]
+	if metered {
+		owner.account(st.bytes() - pre)
+	}
 }
 
 // build is the shared core behind New and Builder.Build. It lays the
@@ -320,7 +411,7 @@ func build(adv *model.Adversary, horizon int, sc *buildScratch, owner *Builder) 
 		owner.spare, owner.hasSpare = storage{}, false
 		owner.spareG, owner.lastPat = nil, nil
 	}
-	st.ensure(arenaLen, totalSets, nodes, intsLen)
+	st.ensure(arenaLen, totalSets, nodes, intsLen, owner)
 
 	g := &Graph{
 		Adv: adv, Horizon: h,

@@ -305,8 +305,11 @@ func (g *Graph) Persists(i model.Proc, m int, v model.Value, t int) bool {
 func (g *Graph) buildSenders() {
 	pat := g.Adv.Pattern
 	need := (g.Horizon + 1) * g.n * g.w
-	if cap(g.store.senders) < need {
+	if prev := cap(g.store.senders); prev < need {
 		g.store.senders = make([]uint64, need)
+		if g.owner != nil {
+			g.owner.account(int64(cap(g.store.senders)-prev) * 8)
+		}
 	} else {
 		g.store.senders = g.store.senders[:need]
 		for i := range g.store.senders {

@@ -10,6 +10,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -46,11 +47,13 @@ var errInjectedHTTP = errors.New("service: chaos: injected transient http error"
 var errInjectedSSE = errors.New("service: chaos: injected sse disconnect")
 
 // statusError carries the server's HTTP status so the retry loop can
-// distinguish transient gateway failures (502/503/504) from real
-// rejections.
+// distinguish transient failures (429 overload, gateway 502/503/504)
+// from real rejections, plus the server's Retry-After hint when one was
+// sent.
 type statusError struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *statusError) Error() string { return e.msg }
@@ -172,7 +175,8 @@ func transient(ctx context.Context, err error) bool {
 	}
 	var se *statusError
 	if errors.As(err, &se) {
-		return se.code == http.StatusBadGateway || se.code == http.StatusServiceUnavailable || se.code == http.StatusGatewayTimeout
+		return se.code == http.StatusTooManyRequests || se.code == http.StatusBadGateway ||
+			se.code == http.StatusServiceUnavailable || se.code == http.StatusGatewayTimeout
 	}
 	var ne net.Error
 	if errors.As(err, &ne) {
@@ -189,16 +193,25 @@ func (c *Client) url(path string) string {
 	return strings.TrimRight(c.Base, "/") + path
 }
 
-// decodeError surfaces the server's {"error": ...} payload.
+// decodeError surfaces the server's {"error": ...} payload, keeping the
+// Retry-After hint (seconds form) a shedding server attaches to 429/503.
 func decodeError(resp *http.Response) error {
 	defer resp.Body.Close()
+	var after time.Duration
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			after = time.Duration(secs) * time.Second
+		}
+	}
 	var e struct {
 		Error string `json:"error"`
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e); err == nil && e.Error != "" {
-		return &statusError{code: resp.StatusCode, msg: fmt.Sprintf("service: server %s: %s", resp.Status, e.Error)}
+		return &statusError{code: resp.StatusCode, retryAfter: after,
+			msg: fmt.Sprintf("service: server %s: %s", resp.Status, e.Error)}
 	}
-	return &statusError{code: resp.StatusCode, msg: fmt.Sprintf("service: server returned %s", resp.Status)}
+	return &statusError{code: resp.StatusCode, retryAfter: after,
+		msg: fmt.Sprintf("service: server returned %s", resp.Status)}
 }
 
 // doJSON performs one unary request with a per-attempt deadline,
@@ -209,7 +222,14 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, w
 	for attempt := 0; attempt <= c.retries(); attempt++ {
 		if attempt > 0 {
 			c.httpRetries.Add(1)
-			if err := chaos.Sleep(ctx, c.retryDelay(attempt)); err != nil {
+			delay := c.retryDelay(attempt)
+			// A server-sent Retry-After is authoritative: back off at
+			// least that long before re-submitting to a shedding server.
+			var se *statusError
+			if errors.As(lastErr, &se) && se.retryAfter > delay {
+				delay = se.retryAfter
+			}
+			if err := chaos.Sleep(ctx, delay); err != nil {
 				return err
 			}
 		}

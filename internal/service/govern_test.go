@@ -1,0 +1,235 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	setconsensus "setconsensus"
+
+	"setconsensus/internal/chaos"
+	"setconsensus/internal/govern"
+	"setconsensus/internal/knowledge"
+	"setconsensus/internal/model"
+)
+
+// The panicking test protocol: Decide panics on its first consultation,
+// so the panic originates inside an engine sweep worker — the deepest
+// layer the daemon's isolation must survive.
+const panicProto = "svc-test-panic"
+
+type panicProtocol struct{}
+
+func (panicProtocol) Name() string { return panicProto }
+func (panicProtocol) Decide(*knowledge.Graph, model.Proc, int) (model.Value, bool) {
+	panic("test: injected protocol panic")
+}
+func (panicProtocol) WorstCaseDecisionTime() int { return 1 }
+
+var registerPanicOnce sync.Once
+
+func registerPanicProtocol(t *testing.T) {
+	t.Helper()
+	registerPanicOnce.Do(func() {
+		setconsensus.DefaultRegistry().MustRegister(setconsensus.ProtocolSpec{
+			Name:          panicProto,
+			Summary:       "test-only protocol that panics in Decide",
+			WorstCaseTime: func(setconsensus.Params) int { return 1 },
+			New: func(setconsensus.Params) (setconsensus.Protocol, error) {
+				return panicProtocol{}, nil
+			},
+		})
+	})
+}
+
+// TestPanicIsolationProtocol pins the tentpole's isolation contract: a
+// protocol panicking inside a sweep worker becomes a typed failed job
+// with the panic site's stack retained, the recovery is counted, and
+// the daemon keeps serving — the next job on the same server finishes.
+func TestPanicIsolationProtocol(t *testing.T) {
+	registerPanicProtocol(t)
+	s, c := newTestServer(t, nil)
+	ctx := context.Background()
+
+	st, err := c.SubmitAndWait(ctx, JobRequest{
+		Kind: KindSweep, Refs: []string{panicProto}, Workload: "collapse:k=1,r=2",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed {
+		t.Fatalf("panicking job finished %s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "panic") || !strings.Contains(st.Error, "injected protocol panic") {
+		t.Fatalf("panicking job error lost the panic value: %q", st.Error)
+	}
+	// The stack must retain the panic origin, not the recovery site.
+	if !strings.Contains(st.Error, "Decide") {
+		t.Fatalf("panicking job error lost the panic-origin stack frame:\n%s", st.Error)
+	}
+	if got := s.snapshot()["panics_recovered"]; got < 1 {
+		t.Fatalf("panics_recovered = %d after a recovered panic, want ≥ 1", got)
+	}
+
+	// The daemon survived: a healthy job on the same server completes.
+	st2, err := c.SubmitAndWait(ctx, JobRequest{
+		Kind: KindSweep, Refs: []string{"optmin"}, Workload: "collapse:k=1,r=2",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != StateDone {
+		t.Fatalf("follow-up job finished %s (%s), want done", st2.State, st2.Error)
+	}
+}
+
+// TestChaosPanicPoint drives the same isolation through the chaos
+// injector's "panic" point — the smoke test's mechanism — with a budget
+// of one, so the first job fails typed and the second runs clean.
+func TestChaosPanicPoint(t *testing.T) {
+	inj, err := chaos.NewSeeded(chaos.Config{Budget: map[chaos.Point]int{chaos.PointPanic: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := newTestServer(t, func(p *Params) { p.Chaos = inj })
+	ctx := context.Background()
+	quick := JobRequest{Kind: KindSweep, Refs: []string{"optmin"}, Workload: "collapse:k=1,r=2"}
+
+	st, err := c.SubmitAndWait(ctx, quick, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed || !strings.Contains(st.Error, "panic") {
+		t.Fatalf("chaos-panicked job finished %s (%q), want failed with panic", st.State, st.Error)
+	}
+	st2, err := c.SubmitAndWait(ctx, quick, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != StateDone {
+		t.Fatalf("post-chaos job finished %s (%s), want done", st2.State, st2.Error)
+	}
+	if got := inj.Counts()[chaos.PointPanic]; got != 1 {
+		t.Fatalf("chaos panic point fired %d times, want exactly 1", got)
+	}
+}
+
+// TestWatchdogCancelsStalledJob pins the stuck-job watchdog: a sweep
+// whose progress feed goes quiet past ProgressDeadline is cancelled with
+// govern.ErrStalled as the cause and fails typed, and the cancellation
+// is counted.
+func TestWatchdogCancelsStalledJob(t *testing.T) {
+	registerSlowWorkload(t)
+	s, c := newTestServer(t, func(p *Params) {
+		p.ProgressDeadline = 150 * time.Millisecond
+	})
+	ctx := context.Background()
+
+	// One-second steps stall the progress feed far past the deadline.
+	st, err := c.SubmitAndWait(ctx, JobRequest{
+		Kind: KindSweep, Refs: []string{"optmin"},
+		Workload: slowWorkload + ":steps=2,delayus=1000000",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed || !strings.Contains(st.Error, "no progress") {
+		t.Fatalf("stalled job finished %s (%q), want failed with stall cause", st.State, st.Error)
+	}
+	if got := s.snapshot()["watchdog_cancels"]; got < 1 {
+		t.Fatalf("watchdog_cancels = %d after a stall cancel, want ≥ 1", got)
+	}
+}
+
+// TestWatchdogLeavesLiveJobsAlone: a job that keeps reporting progress
+// within the deadline runs to completion under a tight watchdog.
+func TestWatchdogLeavesLiveJobsAlone(t *testing.T) {
+	registerSlowWorkload(t)
+	_, c := newTestServer(t, func(p *Params) {
+		p.ProgressDeadline = 500 * time.Millisecond
+	})
+	st, err := c.SubmitAndWait(context.Background(), JobRequest{
+		Kind: KindSweep, Refs: []string{"optmin"},
+		Workload: slowWorkload + ":steps=20,delayus=10000",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("live job finished %s (%s), want done", st.State, st.Error)
+	}
+}
+
+// TestMemoryCeilingRejectsSubmissions pins the admission ceilings from
+// the governor side: live bytes over the hard ceiling reject with the
+// typed govern.ErrMemoryBudget (429 over HTTP with Retry-After), live
+// bytes over only the soft ceiling shed with ErrShedding, /readyz flips
+// to 503 while shedding, and draining the account restores service.
+func TestMemoryCeilingRejectsSubmissions(t *testing.T) {
+	s, c := newTestServer(t, func(p *Params) {
+		p.SoftMemBytes = 1 << 20
+		p.HardMemBytes = 2 << 20
+	})
+	ctx := context.Background()
+	quick := JobRequest{Kind: KindSweep, Refs: []string{"optmin"}, Workload: "collapse:k=1,r=2"}
+	direct := &Client{Base: c.Base, HTTP: c.HTTP, Retries: -1}
+
+	// Over the hard ceiling: typed rejection, 429 over HTTP.
+	s.Governor().Grow(3 << 20)
+	if _, err := s.Submit(quick); !errors.Is(err, govern.ErrMemoryBudget) {
+		t.Fatalf("submit over hard ceiling = %v, want govern.ErrMemoryBudget", err)
+	}
+	if _, err := direct.Submit(ctx, quick); err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("HTTP submit over hard ceiling = %v, want 429", err)
+	} else if !IsOverload(err) {
+		t.Fatalf("hard-ceiling rejection %v not classified as overload", err)
+	}
+
+	// Between soft and hard: shedding, and /readyz is 503.
+	s.Governor().Shrink(3 << 20)
+	s.Governor().Grow(3 << 19) // 1.5 MiB
+	if _, err := s.Submit(quick); err == nil || !strings.Contains(err.Error(), "shedding") {
+		t.Fatalf("submit while shedding = %v, want ErrShedding", err)
+	}
+	if code := readyCode(t, c); code != 503 {
+		t.Fatalf("/readyz while shedding = %d, want 503", code)
+	}
+	if got := s.snapshot()["mem_sheds"]; got < 2 {
+		t.Fatalf("mem_sheds = %d after two shed submissions, want ≥ 2", got)
+	}
+
+	// Drained: the shed latch holds for govern.ShedHoldoff past the
+	// last over-ceiling observation, then admission and readiness
+	// recover on their own.
+	s.Governor().Shrink(3 << 19)
+	if code := readyCode(t, c); code != 503 {
+		t.Fatalf("/readyz inside the shed holdoff = %d, want 503", code)
+	}
+	deadline := time.Now().Add(8 * govern.ShedHoldoff)
+	for readyCode(t, c) != 200 {
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never recovered after the account drained")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st, err := c.SubmitAndWait(ctx, quick, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("post-drain job finished %s (%s), want done", st.State, st.Error)
+	}
+}
+
+func readyCode(t *testing.T, c *Client) int {
+	t.Helper()
+	resp, err := c.http().Get(c.url("/readyz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"setconsensus/internal/govern"
 )
 
 // metrics is the server's observability surface: plain atomics sampled
@@ -64,20 +66,41 @@ func (m *metrics) sample(prev int64, elapsed time.Duration) int64 {
 	return cur
 }
 
+// mergeSnapshot joins the job counters with the governor's gauges into
+// the single flat map served by /v1/stats, /metrics, and expvar.
+func mergeSnapshot(m *metrics, g *govern.Governor) map[string]int64 {
+	out := m.snapshot()
+	gs := g.Stats()
+	out["mem_live_bytes"] = gs.LiveBytes
+	out["mem_soft_limit_bytes"] = gs.SoftLimitBytes
+	out["mem_hard_limit_bytes"] = gs.HardLimitBytes
+	out["mem_sheds"] = gs.Sheds
+	out["panics_recovered"] = gs.PanicsRecovered
+	out["watchdog_cancels"] = gs.WatchdogCancels
+	return out
+}
+
+// serverVitals is the pair published through expvar: the most recently
+// registered server's counters and its governor.
+type serverVitals struct {
+	m   *metrics
+	gov *govern.Governor
+}
+
 // expvar publication is process-global and append-only, while tests
 // build many servers — so the package publishes one "setconsensusd" Func
 // that reads whichever server registered most recently.
 var (
 	expvarOnce   sync.Once
-	activeServer atomic.Pointer[metrics]
+	activeServer atomic.Pointer[serverVitals]
 )
 
-func publishExpvar(m *metrics) {
-	activeServer.Store(m)
+func publishExpvar(m *metrics, g *govern.Governor) {
+	activeServer.Store(&serverVitals{m: m, gov: g})
 	expvarOnce.Do(func() {
 		expvar.Publish("setconsensusd", expvar.Func(func() any {
-			if m := activeServer.Load(); m != nil {
-				return m.snapshot()
+			if v := activeServer.Load(); v != nil {
+				return mergeSnapshot(v.m, v.gov)
 			}
 			return map[string]int64{}
 		}))

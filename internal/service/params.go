@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"runtime"
 	"time"
+
+	"setconsensus/internal/chaos"
 )
 
 // The typed budget errors. Validate and job admission wrap them with
@@ -37,6 +39,15 @@ var (
 	// ErrSpaceBudget rejects (at admission) or aborts (at runtime) a job
 	// whose adversary space exceeds MaxSpaceSize.
 	ErrSpaceBudget = errors.New("service: adversary space exceeds the per-job budget")
+	// ErrMemCeiling rejects an inverted memory-ceiling pair: a soft
+	// ceiling above the hard one could reject admissions before ever
+	// shedding, which is the degradation order backwards.
+	ErrMemCeiling = errors.New("service: soft memory ceiling must not exceed the hard ceiling")
+	// ErrShedding rejects a submission while live metered bytes exceed
+	// the soft memory ceiling: the server keeps running what it
+	// admitted and answers new work with HTTP 429 + Retry-After until
+	// the account drains.
+	ErrShedding = errors.New("service: shedding load over the soft memory ceiling")
 )
 
 // Params is the full configuration of a job server. Construct it with
@@ -82,6 +93,32 @@ type Params struct {
 	// ProgressInterval throttles the progress snapshots a running job
 	// publishes to its SSE subscribers.
 	ProgressInterval time.Duration
+
+	// SoftMemBytes is the governor's soft memory ceiling: while live
+	// metered bytes (builder arenas, run-kit slabs, sweep chunks) exceed
+	// it, engines stop recycling pooled buffers and the server sheds new
+	// submissions with 429 (+Retry-After) and flips /readyz to 503.
+	// Running jobs are never disturbed. 0 disables the ceiling.
+	SoftMemBytes int64
+
+	// HardMemBytes is the governor's hard memory ceiling: submissions
+	// arriving while live bytes exceed it are rejected with a typed
+	// govern.ErrMemoryBudget (HTTP 429). It only gates admission — the
+	// enforcement backstop for total process memory is
+	// debug.SetMemoryLimit/GOMEMLIMIT, which cmd/setconsensusd wires to
+	// the same flag. 0 disables the ceiling.
+	HardMemBytes int64
+
+	// ProgressDeadline is the stuck-job watchdog: a running job whose
+	// progress feed has not advanced within this duration is cancelled
+	// with govern.ErrStalled as the cause and fails typed. 0 disables
+	// the watchdog.
+	ProgressDeadline time.Duration
+
+	// Chaos optionally injects faults into the job path (the "panic"
+	// point fires inside a running job's worker); nil injects nothing.
+	// Test and smoke surface only.
+	Chaos chaos.Injector
 }
 
 // Default returns the documented defaults: 2 concurrent jobs, a queue of
@@ -123,6 +160,16 @@ func (p Params) Validate() error {
 	}
 	if p.ProgressInterval <= 0 {
 		return fmt.Errorf("service: need a positive progress interval, got %v", p.ProgressInterval)
+	}
+	if p.SoftMemBytes < 0 || p.HardMemBytes < 0 {
+		return fmt.Errorf("service: memory ceilings must be ≥ 0 (0 = unlimited), got soft %d hard %d",
+			p.SoftMemBytes, p.HardMemBytes)
+	}
+	if p.SoftMemBytes > 0 && p.HardMemBytes > 0 && p.SoftMemBytes > p.HardMemBytes {
+		return fmt.Errorf("%w (soft %d > hard %d)", ErrMemCeiling, p.SoftMemBytes, p.HardMemBytes)
+	}
+	if p.ProgressDeadline < 0 {
+		return fmt.Errorf("service: progress deadline must be ≥ 0 (0 = no watchdog), got %v", p.ProgressDeadline)
 	}
 	return nil
 }

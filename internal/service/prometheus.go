@@ -21,9 +21,12 @@ const promContentType = "text/plain; version=0.0.4; charset=utf-8"
 // promGauges marks the snapshot keys whose values can go down; all
 // other keys are counters.
 var promGauges = map[string]bool{
-	"jobs_running": true,
-	"queue_depth":  true,
-	"runs_per_sec": true,
+	"jobs_running":         true,
+	"queue_depth":          true,
+	"runs_per_sec":         true,
+	"mem_live_bytes":       true,
+	"mem_soft_limit_bytes": true,
+	"mem_hard_limit_bytes": true,
 }
 
 // promHelp is the one-line HELP text per snapshot key. Keys without an
@@ -46,6 +49,13 @@ var promHelp = map[string]string{
 	"pool_chunk_miss":  "Sweep feeder chunk pool checkouts that allocated fresh, cumulative.",
 	"sse_opened":       "Job event streams opened, cumulative.",
 	"sse_broken":       "Job event streams that ended before delivering the terminal event, cumulative.",
+
+	"mem_live_bytes":       "Metered arena/pool bytes live across the server's engines.",
+	"mem_soft_limit_bytes": "Soft memory ceiling; 0 means unlimited.",
+	"mem_hard_limit_bytes": "Hard memory ceiling gating admission; 0 means unlimited.",
+	"mem_sheds":            "Submissions shed over a memory ceiling, cumulative.",
+	"panics_recovered":     "Worker panics recovered into typed job failures, cumulative.",
+	"watchdog_cancels":     "Stuck jobs cancelled by the progress watchdog, cumulative.",
 }
 
 // writePrometheus renders one snapshot in deterministic (sorted) key
@@ -74,5 +84,5 @@ func writePrometheus(w io.Writer, snap map[string]int64) {
 // handleMetrics is GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", promContentType)
-	writePrometheus(w, s.metrics.snapshot())
+	writePrometheus(w, s.snapshot())
 }

@@ -42,6 +42,21 @@ setconsensusd_jobs_queued 0
 # HELP setconsensusd_jobs_running Jobs executing right now.
 # TYPE setconsensusd_jobs_running gauge
 setconsensusd_jobs_running 0
+# HELP setconsensusd_mem_hard_limit_bytes Hard memory ceiling gating admission; 0 means unlimited.
+# TYPE setconsensusd_mem_hard_limit_bytes gauge
+setconsensusd_mem_hard_limit_bytes 0
+# HELP setconsensusd_mem_live_bytes Metered arena/pool bytes live across the server's engines.
+# TYPE setconsensusd_mem_live_bytes gauge
+setconsensusd_mem_live_bytes 0
+# HELP setconsensusd_mem_sheds Submissions shed over a memory ceiling, cumulative.
+# TYPE setconsensusd_mem_sheds counter
+setconsensusd_mem_sheds 0
+# HELP setconsensusd_mem_soft_limit_bytes Soft memory ceiling; 0 means unlimited.
+# TYPE setconsensusd_mem_soft_limit_bytes gauge
+setconsensusd_mem_soft_limit_bytes 0
+# HELP setconsensusd_panics_recovered Worker panics recovered into typed job failures, cumulative.
+# TYPE setconsensusd_panics_recovered counter
+setconsensusd_panics_recovered 0
 # HELP setconsensusd_pool_chunk_hits Sweep feeder chunk pool checkouts served warm, cumulative.
 # TYPE setconsensusd_pool_chunk_hits counter
 setconsensusd_pool_chunk_hits 0
@@ -69,6 +84,9 @@ setconsensusd_sse_broken 0
 # HELP setconsensusd_sse_opened Job event streams opened, cumulative.
 # TYPE setconsensusd_sse_opened counter
 setconsensusd_sse_opened 0
+# HELP setconsensusd_watchdog_cancels Stuck jobs cancelled by the progress watchdog, cumulative.
+# TYPE setconsensusd_watchdog_cancels counter
+setconsensusd_watchdog_cancels 0
 `
 	if got := rec.Body.String(); got != want {
 		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)

@@ -8,6 +8,9 @@ import (
 	"time"
 
 	setconsensus "setconsensus"
+
+	"setconsensus/internal/chaos"
+	"setconsensus/internal/govern"
 )
 
 // runner.go executes one admitted job on the Engine facade: it builds a
@@ -45,7 +48,7 @@ func (s *Server) engineFor(req *JobRequest) (*setconsensus.Engine, error) {
 	if req.Kind == KindSweep {
 		p.GraphCache = 0
 	}
-	return setconsensus.NewEngine(p)
+	return setconsensus.NewEngine(p, setconsensus.WithGovernor(s.gov))
 }
 
 // admit resolves and budget-checks a request before it is queued,
@@ -118,6 +121,12 @@ func (s *Server) deadlineFor(req *JobRequest) time.Duration {
 // run executes one claimed job to a terminal state. baseCtx is the
 // server's lifetime context: server shutdown after the drain grace
 // cancels it, which cancels every running job.
+//
+// The body is a panic boundary: engines recover their own worker
+// panics into typed errors, and anything that still escapes (the job
+// switch itself, progress relays, a workload's Count) is converted
+// here into a failed job with the stack retained — one bad workload
+// must never take the daemon down.
 func (s *Server) run(baseCtx context.Context, j *job) {
 	j.setRunning()
 	s.metrics.running.Add(1)
@@ -131,20 +140,48 @@ func (s *Server) run(baseCtx context.Context, j *job) {
 	defer cancelTimeout()
 	defer cancel(nil)
 
+	// The stuck-job watchdog: wd.Touch in the progress relays marks
+	// advancement; Watch cancels the job with govern.ErrStalled as the
+	// cause when the feed goes quiet past the deadline. cancelTimeout
+	// runs before the <-wdDone wait (LIFO defers), so Watch's context is
+	// dead by the time we block on its exit — no shutdown deadlock.
+	var wd *govern.Watchdog
+	if d := s.params.ProgressDeadline; d > 0 {
+		wd = govern.NewWatchdog()
+		wdDone := make(chan struct{})
+		defer func() { cancelTimeout(); <-wdDone }()
+		go func() {
+			defer close(wdDone)
+			wd.Watch(ctx, d, func(idle time.Duration) {
+				s.gov.NoteWatchdog()
+				cancel(fmt.Errorf("%w: no progress for %v (deadline %v)", govern.ErrStalled, idle.Round(time.Millisecond), d))
+			})
+		}()
+	}
+
 	eng, err := s.engineFor(&j.req)
 	if err != nil {
 		s.finishJob(j, StateFailed, err)
 		return
 	}
+	// Return the engine's pooled bytes to the governor whatever path the
+	// job leaves by — a panicking job must not strand its account.
+	defer eng.Close()
 
-	switch j.req.Kind {
-	case KindSweep:
-		err = s.runSweep(ctx, cancel, eng, j)
-	case KindAnalysis:
-		err = s.runAnalysis(ctx, eng, j)
-	default:
-		err = fmt.Errorf("service: unknown job kind %q", j.req.Kind)
-	}
+	err = func() (err error) {
+		defer govern.Capture("service: job "+j.id, &err)
+		if fire, _ := chaos.Fire(s.params.Chaos, chaos.PointPanic); fire {
+			panic("chaos: injected job panic")
+		}
+		switch j.req.Kind {
+		case KindSweep:
+			return s.runSweep(ctx, cancel, eng, wd, j)
+		case KindAnalysis:
+			return s.runAnalysis(ctx, eng, wd, j)
+		default:
+			return fmt.Errorf("service: unknown job kind %q", j.req.Kind)
+		}
+	}()
 
 	st := eng.Stats()
 	s.metrics.graphsRebuilt.Add(st.GraphsRebuilt)
@@ -162,6 +199,9 @@ func (s *Server) run(baseCtx context.Context, j *job) {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.finishJob(j, StateFailed, fmt.Errorf("service: job deadline exceeded: %w", err))
 	default:
+		if _, ok := govern.AsPanic(err); ok {
+			s.gov.NotePanic()
+		}
 		if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, err) && !errors.Is(cause, context.Canceled) {
 			err = fmt.Errorf("%w (%v)", cause, err)
 		}
@@ -189,7 +229,7 @@ func (s *Server) finishJob(j *job, state JobState, err error) {
 // runtime for sources that could not be sized at admission: the moment
 // the fold passes MaxSpaceSize adversaries, the job's context is
 // cancelled with ErrSpaceBudget.
-func (s *Server) runSweep(ctx context.Context, cancel context.CancelCauseFunc, eng *setconsensus.Engine, j *job) error {
+func (s *Server) runSweep(ctx context.Context, cancel context.CancelCauseFunc, eng *setconsensus.Engine, wd *govern.Watchdog, j *job) error {
 	src, err := resolveWorkload(&j.req)
 	if err != nil {
 		return err
@@ -198,6 +238,7 @@ func (s *Server) runSweep(ctx context.Context, cancel context.CancelCauseFunc, e
 	var lastRuns int64
 	sum, err := eng.SweepSourceProgress(ctx, j.req.Refs, src, s.params.ProgressInterval,
 		func(p setconsensus.SweepProgress) {
+			wd.Touch()
 			if p.Adversaries > budget {
 				cancel(fmt.Errorf("%w: workload %q passed %d adversaries, budget %d",
 					ErrSpaceBudget, j.req.Workload, p.Adversaries, budget))
@@ -220,10 +261,11 @@ func (s *Server) runSweep(ctx context.Context, cancel context.CancelCauseFunc, e
 
 // runAnalysis executes a named analysis, relaying the pipeline's stage
 // snapshots.
-func (s *Server) runAnalysis(ctx context.Context, eng *setconsensus.Engine, j *job) error {
+func (s *Server) runAnalysis(ctx context.Context, eng *setconsensus.Engine, wd *govern.Watchdog, j *job) error {
 	var lastDone int
 	var lastStage string
 	rep, err := eng.AnalyzeStream(ctx, j.req.Analysis, func(p setconsensus.AnalysisProgress) {
+		wd.Touch()
 		if p.Stage != lastStage {
 			lastStage, lastDone = p.Stage, 0
 		}

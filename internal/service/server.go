@@ -10,10 +10,14 @@ import (
 	"net/http/pprof"
 	"sync"
 	"time"
+
+	"setconsensus/internal/govern"
 )
 
 // ErrQueueFull rejects a submission when the bounded job queue is at
-// QueueDepth; clients see HTTP 503 and retry with backoff.
+// QueueDepth; clients see HTTP 429 with Retry-After and retry with
+// backoff — the saturation is transient, unlike the terminal 503 of
+// ErrClosed.
 var ErrQueueFull = errors.New("service: job queue full")
 
 // ErrClosed rejects submissions during and after shutdown.
@@ -28,6 +32,7 @@ type Server struct {
 	params  Params
 	store   *store
 	metrics *metrics
+	gov     *govern.Governor // always non-nil; zero ceilings = unlimited
 	mux     *http.ServeMux
 
 	queue chan *job
@@ -53,13 +58,24 @@ func New(p Params) (*Server, error) {
 		params:     p,
 		store:      newStore(p.ResultBound),
 		metrics:    &metrics{},
+		gov:        govern.New(p.SoftMemBytes, p.HardMemBytes),
 		queue:      make(chan *job, p.QueueDepth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
 	s.routes()
-	publishExpvar(s.metrics)
+	publishExpvar(s.metrics, s.gov)
 	return s, nil
+}
+
+// Governor exposes the server's resource governor, e.g. for tests and
+// embedded observers.
+func (s *Server) Governor() *govern.Governor { return s.gov }
+
+// snapshot merges the job counters with the governor gauges — the one
+// map /v1/stats, expvar, and /metrics all render.
+func (s *Server) snapshot() map[string]int64 {
+	return mergeSnapshot(s.metrics, s.gov)
 }
 
 // Params returns the server's validated configuration.
@@ -173,6 +189,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -184,7 +201,19 @@ func (s *Server) routes() {
 
 // Submit admits, stores, and enqueues a job, returning its initial
 // status. It is the Go-level submission path behind POST /v1/jobs.
+// Memory governance gates admission first: over the hard ceiling the
+// typed govern.ErrMemoryBudget rejects, over the soft ceiling
+// ErrShedding does — both map to HTTP 429 with Retry-After, since the
+// account drains as running jobs finish.
 func (s *Server) Submit(req JobRequest) (*JobStatus, error) {
+	if err := s.gov.Admit(0); err != nil {
+		s.gov.NoteShed()
+		return nil, err
+	}
+	if s.gov.Shedding() {
+		s.gov.NoteShed()
+		return nil, fmt.Errorf("%w (%d live bytes)", ErrShedding, s.gov.Live())
+	}
 	if _, err := s.admit(&req); err != nil {
 		return nil, err
 	}
@@ -242,7 +271,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.Submit(req)
 	if err != nil {
-		httpError(w, err, submitStatus(err))
+		code := submitStatus(err)
+		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+			// Saturation and shedding are transient: tell well-behaved
+			// clients when to come back instead of letting them hammer.
+			w.Header().Set("Retry-After", "1")
+		}
+		httpError(w, err, code)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -250,16 +285,42 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, st)
 }
 
-// submitStatus maps a submission error to its HTTP status.
+// submitStatus maps a submission error to its HTTP status: overload
+// conditions (full queue, shedding, hard memory ceiling) are 429 —
+// transient, retry later; only shutdown is 503 — this server is going
+// away.
 func submitStatus(err error) int {
 	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShedding),
+		errors.Is(err, govern.ErrMemoryBudget):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrSpaceBudget):
 		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// IsOverload reports whether err is a transient too-busy rejection — a
+// full queue, a shedding/over-ceiling server, or their HTTP renderings
+// (429, 503) seen through the Client. Coordinators back off and retry
+// on these instead of charging the worker's circuit breaker: a governed
+// fleet sheds, it does not quarantine healthy-but-busy workers.
+func IsOverload(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShedding) ||
+		errors.Is(err, govern.ErrMemoryBudget) {
+		return true
+	}
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code == http.StatusTooManyRequests || se.code == http.StatusServiceUnavailable
+	}
+	return false
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -301,7 +362,28 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.metrics.snapshot())
+	writeJSON(w, s.snapshot())
+}
+
+// handleReady is the load-balancer readiness probe, distinct from the
+// liveness /healthz (which stays 200 as long as the process serves):
+// 503 while draining or shedding over the soft memory ceiling, 200
+// otherwise. Taking a shedding server out of rotation lets its live
+// account drain instead of bouncing 429s at clients.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	switch {
+	case closed:
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case s.gov.Shedding():
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, fmt.Sprintf("shedding (%d live bytes over soft ceiling)", s.gov.Live()),
+			http.StatusServiceUnavailable)
+	default:
+		fmt.Fprintln(w, "ready")
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

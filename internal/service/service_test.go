@@ -261,8 +261,8 @@ func TestBadProtocolRefFailsJob(t *testing.T) {
 }
 
 // TestQueueFullRejects pins the bounded queue: with one worker held and
-// the one-deep queue occupied, the next submission is rejected with 503
-// instead of buffering without bound.
+// the one-deep queue occupied, the next submission is rejected with 429
+// + Retry-After instead of buffering without bound.
 func TestQueueFullRejects(t *testing.T) {
 	registerSlowWorkload(t)
 	_, c := newTestServer(t, func(p *Params) {
@@ -284,8 +284,13 @@ func TestQueueFullRejects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Submit(ctx, slow); err == nil || !strings.Contains(err.Error(), "503") {
-		t.Fatalf("third submission = %v, want 503 queue full", err)
+	// 429 is transient (the client would retry with Retry-After
+	// backoff), so probe with a no-retry copy to see the rejection.
+	direct := &Client{Base: c.Base, HTTP: c.HTTP, Retries: -1}
+	if _, err := direct.Submit(ctx, slow); err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("third submission = %v, want 429 queue full", err)
+	} else if !IsOverload(err) {
+		t.Fatalf("third submission error %v not classified as overload", err)
 	}
 
 	// Cancelling the queued job frees it without a worker ever claiming

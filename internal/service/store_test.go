@@ -1,0 +1,126 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStoreFIFOEviction pins the terminal-job bound: finished jobs
+// beyond the bound are evicted oldest-first, while unfinished jobs are
+// always retained regardless of how many terminals pass through.
+func TestStoreFIFOEviction(t *testing.T) {
+	s := newStore(2)
+	running := &job{state: StateRunning, created: time.Now()}
+	s.add(running)
+
+	var finished []string
+	for i := 0; i < 5; i++ {
+		j := &job{state: StateQueued, created: time.Now()}
+		id := s.add(j)
+		j.finish(StateDone, nil)
+		s.markFinished(id)
+		finished = append(finished, id)
+	}
+
+	// Oldest three of the five evicted, newest two retained.
+	for _, id := range finished[:3] {
+		if _, ok := s.get(id); ok {
+			t.Errorf("job %s retained beyond the bound", id)
+		}
+	}
+	for _, id := range finished[3:] {
+		if _, ok := s.get(id); !ok {
+			t.Errorf("job %s evicted within the bound", id)
+		}
+	}
+	if _, ok := s.get(running.id); !ok {
+		t.Error("running job evicted by terminal churn")
+	}
+	if got := len(s.list()); got != 3 {
+		t.Errorf("list reports %d jobs, want 3", got)
+	}
+}
+
+// TestStoreEvictionUnpinsBackingArrays pins dropOrderLocked's contract:
+// removed and evicted ids are copied down and the vacated tail slots
+// zeroed, so the backing arrays of order/finished do not pin evicted
+// strings (or grow a ghost tail of live references).
+func TestStoreEvictionUnpinsBackingArrays(t *testing.T) {
+	s := newStore(1)
+	var ids []string
+	for i := 0; i < 4; i++ {
+		j := &job{state: StateQueued, created: time.Now()}
+		id := s.add(j)
+		j.finish(StateDone, nil)
+		s.markFinished(id)
+		ids = append(ids, id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.finished) != 1 || s.finished[0] != ids[3] {
+		t.Fatalf("finished = %v, want [%s]", s.finished, ids[3])
+	}
+	for _, sl := range [][]string{s.order, s.finished} {
+		tail := sl[len(sl):cap(sl)]
+		for i, v := range tail {
+			if v != "" {
+				t.Errorf("backing array slot %d past len still pins %q", i, v)
+			}
+		}
+	}
+}
+
+// TestStoreConcurrentAccess hammers add/get/remove/markFinished/list
+// from many goroutines; run under -race it pins the store's locking
+// discipline, and afterwards the retained terminal count must respect
+// the bound.
+func TestStoreConcurrentAccess(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 50
+		bound   = 10
+	)
+	s := newStore(bound)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				j := &job{state: StateQueued, created: time.Now()}
+				id := s.add(j)
+				if _, ok := s.get(id); !ok {
+					t.Errorf("job %s vanished before finishing", id)
+					return
+				}
+				j.finish(StateDone, nil)
+				s.markFinished(id)
+				switch i % 3 {
+				case 0:
+					s.remove(id) // may already be evicted: both fine
+				case 1:
+					s.list()
+				default:
+					s.get(fmt.Sprintf("j-%06d", i+1))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.finished) > bound {
+		t.Errorf("retained %d terminal jobs, bound %d", len(s.finished), bound)
+	}
+	if len(s.jobs) != len(s.order) {
+		t.Errorf("jobs map (%d) and order (%d) disagree", len(s.jobs), len(s.order))
+	}
+	for _, id := range s.order {
+		if _, ok := s.jobs[id]; !ok {
+			t.Errorf("order lists %s but the map lost it", id)
+		}
+	}
+}

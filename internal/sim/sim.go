@@ -12,6 +12,7 @@ package sim
 
 import (
 	"fmt"
+	"unsafe"
 
 	"setconsensus/internal/bitset"
 	"setconsensus/internal/knowledge"
@@ -122,6 +123,15 @@ func (sc *Scratch) Reset(n int) []*Decision {
 func (sc *Scratch) Put(i model.Proc, d Decision) {
 	sc.slab = append(sc.slab, d)
 	sc.ptrs[i] = &sc.slab[len(sc.slab)-1]
+}
+
+// Bytes reports the capacity the scratch currently pins, for the
+// engine's memory governor. Capacities only grow, so the delta between
+// two snapshots is the allocation the interval created.
+func (sc *Scratch) Bytes() int64 {
+	return int64(cap(sc.ptrs))*int64(unsafe.Sizeof((*Decision)(nil))) +
+		int64(cap(sc.slab))*int64(unsafe.Sizeof(Decision{})) +
+		int64(cap(sc.cr))*int64(unsafe.Sizeof(int(0)))
 }
 
 // RunWithGraphInto is RunWithGraph with pooled storage: it fills res in

@@ -9,6 +9,7 @@ import (
 
 	"setconsensus/internal/bitset"
 	"setconsensus/internal/enum"
+	"setconsensus/internal/govern"
 	"setconsensus/internal/knowledge"
 	"setconsensus/internal/model"
 	"setconsensus/internal/sim"
@@ -415,7 +416,15 @@ func Shards(ctx context.Context, workers int, body func(ctx context.Context, w i
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			if err := body(ctx, w); err != nil {
+			// Candidate tests execute protocol decision rules, so a
+			// panicking rule is isolated here: converted into a typed
+			// analysis error instead of crashing the process, with the
+			// shared cancel draining the other shards.
+			err := func() (err error) {
+				defer govern.Capture("unbeat: analysis worker", &err)
+				return body(ctx, w)
+			}()
+			if err != nil {
 				errOnce.Do(func() { firstErr = err })
 				cancel()
 			}

@@ -120,6 +120,20 @@ func (p EngineParams) Validate() error {
 	return nil
 }
 
+// ResourceGovernor is the engine's hook into a process-wide memory
+// governor (internal/govern.Governor implements it): Grow/Shrink meter
+// the byte capacity the engine's pooled buffers and builder arenas
+// create and free, Retain gates pool recycling (false = release to the
+// GC instead), and Admit checks headroom under a hard ceiling. Every
+// method must be safe for concurrent use. A nil governor means
+// ungoverned: no metering, pools always retain.
+type ResourceGovernor interface {
+	Grow(bytes int64)
+	Shrink(bytes int64)
+	Retain() bool
+	Admit(bytes int64) error
+}
+
 // Option configures an Engine at construction.
 type Option func(*engineConfig)
 
@@ -127,6 +141,7 @@ type engineConfig struct {
 	params   EngineParams
 	reg      *Registry
 	analyses *AnalysisRegistry
+	gov      ResourceGovernor
 }
 
 // WithBackend selects the execution backend (Oracle, Goroutines, Wire).
@@ -179,4 +194,14 @@ func WithRegistry(reg *Registry) Option {
 // the default analysis registry.
 func WithAnalyses(reg *AnalysisRegistry) Option {
 	return func(c *engineConfig) { c.analyses = reg }
+}
+
+// WithGovernor attaches a resource governor: the engine meters the byte
+// capacity of its recycled buffers (knowledge arenas, run-kit slabs,
+// sweep chunks) through it and stops retaining pooled buffers while the
+// governor refuses retention. Long-running processes that share one
+// governor across many engines should call Engine.Close when an engine
+// is retired, so its pooled bytes return to the account.
+func WithGovernor(g ResourceGovernor) Option {
+	return func(c *engineConfig) { c.gov = g }
 }

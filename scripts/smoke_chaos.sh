@@ -12,7 +12,15 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
-trap 'rm -rf "$workdir"' EXIT
+cleanup() {
+    # No background processes today, but failure paths must stay clean
+    # if one is ever added: sweep the job table before removing state.
+    stray=$(jobs -p)
+    [ -n "$stray" ] && kill $stray 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
 
 echo "== build"
 go build -o "$workdir/setconsensus" ./cmd/setconsensus

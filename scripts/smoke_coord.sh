@@ -18,6 +18,11 @@ coordpid=""
 cleanup() {
     [ -n "$daemon" ] && kill "$daemon" 2>/dev/null || true
     [ -n "$coordpid" ] && kill -KILL "$coordpid" 2>/dev/null || true
+    # Whatever failure path got us here, nothing this shell spawned may
+    # outlive it: sweep the job table, then reap before removing state.
+    stray=$(jobs -p)
+    [ -n "$stray" ] && kill $stray 2>/dev/null || true
+    wait 2>/dev/null || true
     rm -rf "$workdir"
 }
 trap cleanup EXIT

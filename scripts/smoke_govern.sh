@@ -1,0 +1,186 @@
+#!/usr/bin/env bash
+# Resource-governance smoke test, run by the CI `smoke-govern` job and
+# runnable locally: build the daemon and CLI, then (1) start a daemon
+# with a one-byte soft memory ceiling so any running sweep flips it to
+# shedding — assert submissions during the sweep are rejected 429 with
+# Retry-After and /readyz reports 503, assert the sweep's own output is
+# byte-identical to a local run despite the pools shedding the whole
+# way, and assert the governor gauges moved in /metrics; (2) restart the
+# daemon with the chaos "panic" point armed — assert the panicked job
+# fails typed with its stack retained while the daemon keeps serving the
+# next job clean.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+daemon=""
+cleanup() {
+    [ -n "$daemon" ] && kill "$daemon" 2>/dev/null || true
+    # Whatever failure path got us here, nothing this shell spawned may
+    # outlive it: sweep the job table, then reap before removing state.
+    stray=$(jobs -p)
+    [ -n "$stray" ] && kill $stray 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/setconsensusd" ./cmd/setconsensusd
+go build -o "$workdir/setconsensus" ./cmd/setconsensus
+
+json() { python3 -c "import json,sys; print(json.load(sys.stdin)$1)"; }
+
+# start <extra daemon flags...>: boot a daemon on a random port, retrying
+# bind collisions, and set $base/$daemon.
+start() {
+    base=""
+    for attempt in 1 2 3; do
+        port=$(( (RANDOM % 20000) + 20000 ))
+        addr="127.0.0.1:$port"
+        "$workdir/setconsensusd" -addr "$addr" -deadline 2m -drain-grace 30s \
+            "$@" >"$workdir/daemon.log" 2>&1 &
+        daemon=$!
+        for _ in $(seq 1 50); do
+            if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then
+                base="http://$addr"
+                break 2
+            fi
+            if ! kill -0 "$daemon" 2>/dev/null; then
+                daemon=""
+                break # bind failure (port taken): try another port
+            fi
+            sleep 0.1
+        done
+        [ -n "$daemon" ] && kill "$daemon" 2>/dev/null && wait "$daemon" 2>/dev/null || true
+        daemon=""
+    done
+    if [ -z "$base" ]; then
+        echo "FAIL: server did not come up"
+        cat "$workdir/daemon.log"
+        exit 1
+    fi
+    echo "   listening on $base"
+}
+
+stop() {
+    kill -TERM "$daemon" 2>/dev/null || true
+    for _ in $(seq 1 100); do
+        kill -0 "$daemon" 2>/dev/null || break
+        sleep 0.1
+    done
+    daemon=""
+}
+
+poll() {
+    local id=$1 state
+    for _ in $(seq 1 600); do
+        state=$(curl -fsS "$base/v1/jobs/$id" | json '["state"]')
+        case "$state" in done|failed|cancelled) echo "$state"; return ;; esac
+        sleep 0.1
+    done
+    echo timeout
+}
+
+workload="space:n=5,t=2,r=2,v=0..1"
+protocols='"optmin","upmin"'
+
+echo "== leg 1: shedding under a one-byte soft ceiling"
+start -workers 1 -memlimit-soft 1 -memlimit 512MiB
+
+echo "== local reference sweep"
+"$workdir/setconsensus" -protocol optmin,upmin -t 2 -workload "$workload" \
+    >"$workdir/sweep-local.txt"
+
+echo "== submit the governed sweep"
+sweep_id=$(curl -fsS "$base/v1/jobs" -H 'Content-Type: application/json' -d "{
+    \"kind\":\"sweep\",\"refs\":[$protocols],
+    \"workload\":\"$workload\",\"params\":{\"t\":2}}" | json '["id"]')
+echo "   sweep=$sweep_id"
+
+echo "== overflow while it runs: 429 + Retry-After, /readyz 503"
+# The governor latches shedding for its holdoff window, so while the
+# sweep allocates over the one-byte ceiling both surfaces answer
+# deterministically; the loop only rides out job startup.
+shed_seen=""
+ready_seen=""
+for _ in $(seq 1 600); do
+    state=$(curl -fsS "$base/v1/jobs/$sweep_id" | json '["state"]')
+    [ "$state" = done ] && break
+    if [ -z "$shed_seen" ]; then
+        curl -sS -D "$workdir/overflow.hdr" -o "$workdir/overflow.body" \
+            "$base/v1/jobs" -H 'Content-Type: application/json' \
+            -d '{"kind":"sweep","refs":["optmin"],"workload":"collapse:k=1,r=2"}'
+        if grep -q "^HTTP/1.1 429" "$workdir/overflow.hdr"; then
+            grep -qi "^Retry-After:" "$workdir/overflow.hdr" || {
+                echo "FAIL: 429 without Retry-After"; cat "$workdir/overflow.hdr"; exit 1
+            }
+            grep -q "shedding" "$workdir/overflow.body" || {
+                echo "FAIL: 429 body is not the shed rejection:"; cat "$workdir/overflow.body"; exit 1
+            }
+            shed_seen=yes
+        fi
+    fi
+    if [ -z "$ready_seen" ]; then
+        ready=$(curl -s -o /dev/null -w "%{http_code}" "$base/readyz")
+        [ "$ready" = 503 ] && ready_seen=yes
+    fi
+    [ -n "$shed_seen" ] && [ -n "$ready_seen" ] && break
+    sleep 0.02
+done
+if [ -z "$shed_seen" ] || [ -z "$ready_seen" ]; then
+    echo "FAIL: mid-sweep observations incomplete (429 shed: ${shed_seen:-no}, /readyz 503: ${ready_seen:-no})"
+    cat "$workdir/overflow.hdr" 2>/dev/null || true
+    exit 1
+fi
+echo "   429 + Retry-After and /readyz 503 observed mid-sweep"
+
+echo "== admitted job byte-identical despite shedding"
+state=$(poll "$sweep_id")
+if [ "$state" != done ]; then
+    echo "FAIL: governed sweep finished '$state'"
+    curl -fsS "$base/v1/jobs/$sweep_id"
+    exit 1
+fi
+"$workdir/setconsensus" -server "$base" -protocol optmin,upmin -t 2 \
+    -workload "$workload" >"$workdir/sweep-remote.txt"
+diff -u "$workdir/sweep-local.txt" "$workdir/sweep-remote.txt"
+echo "   output identical"
+
+echo "== governor gauges in /metrics"
+curl -fsS "$base/metrics" >"$workdir/metrics.txt"
+for key in mem_live_bytes mem_soft_limit_bytes mem_hard_limit_bytes \
+           mem_sheds panics_recovered watchdog_cancels; do
+    grep -q "^setconsensusd_$key " "$workdir/metrics.txt" || {
+        echo "FAIL: /metrics missing $key"; cat "$workdir/metrics.txt"; exit 1
+    }
+done
+sheds=$(awk '$1 == "setconsensusd_mem_sheds" {print $2}' "$workdir/metrics.txt")
+[ "$sheds" -ge 1 ] || { echo "FAIL: mem_sheds=$sheds, want >= 1"; exit 1; }
+echo "   gauges present, mem_sheds=$sheds"
+stop
+
+echo "== leg 2: daemon survives an injected job panic"
+start -workers 1 -chaos panic#1
+
+panic_id=$(curl -fsS "$base/v1/jobs" -H 'Content-Type: application/json' -d '{
+    "kind":"sweep","refs":["optmin"],"workload":"collapse:k=1,r=2"}' | json '["id"]')
+state=$(poll "$panic_id")
+[ "$state" = failed ] || { echo "FAIL: panicked job finished '$state', want failed"; exit 1; }
+curl -fsS "$base/v1/jobs/$panic_id" | json '["error"]' >"$workdir/panic.err"
+grep -q "panic" "$workdir/panic.err" || {
+    echo "FAIL: panicked job error carries no panic:"; cat "$workdir/panic.err"; exit 1
+}
+echo "   panicked job failed typed: $(head -c 80 "$workdir/panic.err")..."
+
+kill -0 "$daemon" || { echo "FAIL: daemon died with the panicking job"; exit 1; }
+clean_id=$(curl -fsS "$base/v1/jobs" -H 'Content-Type: application/json' -d '{
+    "kind":"sweep","refs":["optmin"],"workload":"collapse:k=1,r=2"}' | json '["id"]')
+state=$(poll "$clean_id")
+[ "$state" = done ] || { echo "FAIL: post-panic job finished '$state', want done"; exit 1; }
+recovered=$(curl -fsS "$base/metrics" | awk '$1 == "setconsensusd_panics_recovered" {print $2}')
+[ "$recovered" -ge 1 ] || { echo "FAIL: panics_recovered=$recovered, want >= 1"; exit 1; }
+echo "   daemon survived: next job done, panics_recovered=$recovered"
+stop
+
+echo "PASS: resource-governance smoke"
