@@ -286,6 +286,40 @@
 // enforced node-for-node over randomized adversaries
 // (internal/knowledge/equiv_test.go, revive_test.go).
 //
+// The delta layer (PR 10) sharpens the same observation into incremental
+// graph maintenance — its vocabulary:
+//
+//	delta order    within one pattern block the enumeration emits input
+//	               vectors in reflected (mixed-radix) Gray-code order, so
+//	               consecutive adversaries differ in exactly one process's
+//	               initial value; Space.DeltaOrder / DeltaRange annotate
+//	               each adversary with that changed process (-1 at block
+//	               boundaries and resume entry points), at the same
+//	               offsets All and Range address
+//	patch          the one-diff Build path (Builder.Patch is the explicit
+//	               form): when the parked spare shares the pattern and the
+//	               inputs differ in a single process, only the value and
+//	               knowledge words of the views that ever see that process
+//	               are rewritten — the layer bitsets, crash tables, and
+//	               untouched views are bit-for-bit the spare's
+//	               (internal/knowledge/patch_test.go pins this node for
+//	               node); a zero-diff rebuild skips entirely
+//	touched views  the CSR table built once per full build that maps each
+//	               process to the views it reaches — the patch kernel's
+//	               worklist, so a patch is O(views seeing the change), not
+//	               O(graph)
+//
+// Sweep executors align worker chunk boundaries to multiples of the
+// pattern-block stride (PatternBlocked / Space.PatternBlock), so a chunk
+// pays one full build at its first adversary and patches the rest;
+// Engine.Stats meters the split exactly (GraphsRebuilt = one per
+// canonical pattern, GraphsPatched = everything else, pinned by
+// TestSweepSourceMetersPatches). The unbeatability compile stage rides
+// the same order: Compiler.Add diffs consecutive adversaries and copies
+// interned view ids forward for every view the changed process never
+// reaches, skipping fingerprint encoding and interning for the bulk of
+// each block.
+//
 // The aggregating sweep itself is sharded and pooled. Each SweepSource
 // worker folds its runs into private per-protocol accumulators
 // (internal/agg.Acc — plain integer bumps, no maps, no locks) and

@@ -75,13 +75,15 @@ type Engine struct {
 	chunkFree  []*sweepChunk
 	chunkBytes atomic.Int64
 
-	// statBuilt/statRevived accumulate the builder counts harvested when
-	// a worker returns its kit — the engine-wide "graphs rebuilt vs
-	// revived" observability counters behind Stats. They only move on the
-	// recycling path (graph cache disabled, or an analysis compile);
-	// cached graphs are counted by CachedGraphs instead.
+	// statBuilt/statRevived/statPatched accumulate the builder counts
+	// harvested when a worker returns its kit — the engine-wide "graphs
+	// rebuilt vs revived vs delta-patched" observability counters behind
+	// Stats. They only move on the recycling path (graph cache disabled,
+	// or an analysis compile); cached graphs are counted by CachedGraphs
+	// instead.
 	statBuilt   atomic.Int64
 	statRevived atomic.Int64
+	statPatched atomic.Int64
 
 	// Pool hit-rate counters: a hit is a checkout served from the
 	// freelist, a miss a fresh allocation. statKit* meters the
@@ -360,10 +362,12 @@ func (e *Engine) CachedGraphs() int {
 
 // EngineStats is a point-in-time snapshot of an engine's observability
 // counters — the measurement feed behind the job service's expvar
-// surface. GraphsRebuilt and GraphsRevived count full knowledge-graph
-// builds versus same-pattern revives on the arena-recycling path (graph
-// cache disabled, and every analysis compile stage); CachedGraphs is the
-// current cache population on the caching path.
+// surface. GraphsRebuilt, GraphsRevived, and GraphsPatched count full
+// knowledge-graph builds, same-pattern revives (value layer refilled),
+// and delta patches (only the value rows touched by a single changed
+// input rewritten) on the arena-recycling path (graph cache disabled,
+// and every analysis compile stage); CachedGraphs is the current cache
+// population on the caching path.
 // The pool hit-rate pairs meter the two freelists behind aggregating
 // sweeps: RunKitHits/RunKitMisses count per-worker runKit (RunBuffer +
 // builder arena) checkouts served warm from the pool versus freshly
@@ -374,6 +378,7 @@ func (e *Engine) CachedGraphs() int {
 type EngineStats struct {
 	GraphsRebuilt int64 `json:"graphsRebuilt"`
 	GraphsRevived int64 `json:"graphsRevived"`
+	GraphsPatched int64 `json:"graphsPatched"`
 	CachedGraphs  int   `json:"cachedGraphs"`
 	RunKitHits    int64 `json:"runKitHits"`
 	RunKitMisses  int64 `json:"runKitMisses"`
@@ -388,6 +393,7 @@ func (e *Engine) Stats() EngineStats {
 	return EngineStats{
 		GraphsRebuilt: e.statBuilt.Load(),
 		GraphsRevived: e.statRevived.Load(),
+		GraphsPatched: e.statPatched.Load(),
 		CachedGraphs:  e.CachedGraphs(),
 		RunKitHits:    e.statKitHit.Load(),
 		RunKitMisses:  e.statKitMiss.Load(),
@@ -506,19 +512,47 @@ const sourceChunk = 32
 // size: a Source whose Count lies (reports known with count ≤ 0 yet
 // yields adversaries) or a clamped-to-zero worker total must degrade to
 // the unknown-count behavior, not divide by zero or starve the pool.
-func chunkSizeFor(count int, known bool, workers int) int {
-	if !known || count <= 0 {
-		return sourceChunk
+//
+// block, when > 1, is the source's pattern-block stride (PatternBlocked):
+// the enumeration changes failure pattern exactly at multiples of it, so
+// the chunk size is aligned to keep every chunk boundary on a block
+// boundary — a worker full-builds there anyway. A misaligned chunk would
+// instead start mid-block, paying a spurious full build where the
+// previous chunk's worker could have patched.
+func chunkSizeFor(count int, known bool, workers, block int) int {
+	c := sourceChunk
+	if known && count > 0 {
+		if workers < 1 {
+			workers = 1
+		}
+		c = count / (workers * 4)
+		if c < 1 {
+			c = 1
+		}
+		if c > sourceChunk {
+			c = sourceChunk
+		}
 	}
-	if workers < 1 {
-		workers = 1
+	return alignChunk(c, block)
+}
+
+// alignChunk aligns a chunk size to a pattern-block stride: the largest
+// multiple of block not exceeding c when a whole block fits, else the
+// largest divisor of block not exceeding c (consecutive chunks of a
+// divisor tile each block exactly). Either way every chunk boundary
+// lands on a block boundary; c is returned unchanged when no alignment
+// is possible or needed.
+func alignChunk(c, block int) int {
+	if block <= 1 || c <= 1 {
+		return c
 	}
-	c := count / (workers * 4)
-	if c < 1 {
-		return 1
+	if c >= block {
+		return c - c%block
 	}
-	if c > sourceChunk {
-		return sourceChunk
+	for d := c; d > 1; d-- {
+		if block%d == 0 {
+			return d
+		}
 	}
 	return c
 }
@@ -642,7 +676,11 @@ func (e *Engine) sweepExec(ctx context.Context, refs []string, src Source, body 
 	if known && count > 0 && workers > count {
 		workers = count
 	}
-	chunkSize := chunkSizeFor(count, known, workers)
+	block := 1
+	if pb, ok := src.(PatternBlocked); ok {
+		block = pb.PatternBlock()
+	}
+	chunkSize := chunkSizeFor(count, known, workers, block)
 
 	jobs := make(chan *sweepChunk)
 	var (
@@ -845,9 +883,10 @@ func (e *Engine) putKit(kit *runKit) {
 // harvestKit folds the kit's builder counts into the engine counters.
 func (e *Engine) harvestKit(kit *runKit) {
 	if kit.builder != nil {
-		built, revived := kit.builder.TakeCounts()
+		built, revived, patched := kit.builder.TakeCounts()
 		e.statBuilt.Add(int64(built))
 		e.statRevived.Add(int64(revived))
+		e.statPatched.Add(int64(patched))
 	}
 }
 

@@ -27,7 +27,7 @@ func TestBinaryKeyedDedupMatchesCanonicalStrings(t *testing.T) {
 		block := s.inputCount()
 		seen := make(map[string]struct{})
 		idx := 0
-		s.forEachPattern(func(fp *model.FailurePattern) bool {
+		s.forEachPattern(func(fp *model.FailurePattern, _ []model.Proc) bool {
 			canon := fp.Canonical()
 			key := canon.String()
 			if _, dup := seen[key]; dup {

@@ -8,6 +8,15 @@
 // canonical adversary paired with its offset in the deterministic order,
 // and From(offset) resumes mid-stream, so unbounded sweeps can checkpoint
 // with nothing but an integer.
+//
+// Within each failure pattern's block the input vectors follow a
+// reflected Gray code over Values (delta order): consecutive adversaries
+// differ in exactly one process's initial value. DeltaOrder and DeltaRange
+// expose the changed index alongside each adversary so incremental
+// consumers (knowledge-graph patch kernels) can rewrite only the state
+// that depends on the flipped input; the offset→adversary decode is
+// shared with From/Range, so delta traversals checkpoint and tile
+// identically to the canonical ones.
 package enum
 
 import (
@@ -121,44 +130,114 @@ func (sl *advSlab) carve(inputs []model.Value, pattern *model.FailurePattern) *m
 // sweep. Whole failure-pattern blocks before the offset are skipped
 // without enumerating their input vectors (each canonical pattern spans
 // len(Values)^N consecutive offsets); partially consumed blocks re-enter
-// the input odometer directly at the right vector.
+// the input Gray code directly at the right vector.
 func (s Space) From(offset int) iter.Seq2[int, *model.Adversary] {
 	return func(yield func(int, *model.Adversary) bool) {
-		if s.Validate() != nil || offset < 0 {
-			return
-		}
-		block := s.inputCount()
-		seen := make(map[string]struct{})
-		keyBuf := make([]byte, 0, 64)
-		var slab advSlab
-		idx := 0
-		s.forEachPattern(func(fp *model.FailurePattern) bool {
-			// Dedup on the raw pattern's binary fingerprint: it strips
-			// unobservable deliveries during encoding, so it equals the
-			// canonical pattern's fingerprint without building it.
-			keyBuf = fp.AppendFingerprint(keyBuf[:0])
-			if _, dup := seen[string(keyBuf)]; dup {
-				return true
-			}
-			seen[string(keyBuf)] = struct{}{}
-			if idx+block <= offset {
-				idx += block // fast-skip: the whole block precedes the offset
-				return true
-			}
-			canon := fp.Canonical()
-			start := 0
-			if idx < offset {
-				start = offset - idx
-			}
-			cont := true
-			s.forEachInputsFrom(start, func(i int, inputs []model.Value) bool {
-				cont = yield(idx+i, slab.carve(inputs, canon))
-				return cont
-			})
-			idx += block
-			return cont
+		s.deltaFrom(offset, func(idx int, adv *model.Adversary, _ int) bool {
+			return yield(idx, adv)
 		})
 	}
+}
+
+// Delta pairs an adversary with the index of the process whose initial
+// value changed relative to the previous adversary of the same traversal.
+// Changed is -1 when no single-input relationship holds: at the first
+// adversary yielded (including mid-block resume entry points) and at every
+// pattern-block boundary, where the failure pattern itself changes.
+type Delta struct {
+	Adv     *model.Adversary
+	Changed int
+}
+
+// DeltaOrder resumes the enumeration of All at the given offset exactly
+// as From does — same adversaries, same offsets — but additionally
+// reports, for each adversary, which process's input changed since the
+// previous one. Within a pattern block consecutive adversaries differ in
+// exactly one process's initial value (the input vectors follow a
+// reflected Gray code over Values), so incremental consumers can patch
+// per-process state instead of rebuilding it; Changed = -1 marks the
+// points where they must rebuild from scratch.
+func (s Space) DeltaOrder(offset int) iter.Seq2[int, Delta] {
+	return func(yield func(int, Delta) bool) {
+		s.deltaFrom(offset, func(idx int, adv *model.Adversary, changed int) bool {
+			return yield(idx, Delta{Adv: adv, Changed: changed})
+		})
+	}
+}
+
+// DeltaRange yields the window [offset, offset+limit) of DeltaOrder, the
+// delta-annotated analogue of Range: the same adversaries at the same
+// offsets, with the first adversary of the window marked Changed = -1.
+// Consecutive DeltaRange windows therefore tile the space byte-identically
+// to Range windows while letting workers patch within each window.
+func (s Space) DeltaRange(offset, limit int) iter.Seq2[int, Delta] {
+	return func(yield func(int, Delta) bool) {
+		if limit <= 0 {
+			return
+		}
+		left := limit
+		s.deltaFrom(offset, func(idx int, adv *model.Adversary, changed int) bool {
+			if !yield(idx, Delta{Adv: adv, Changed: changed}) {
+				return false
+			}
+			left--
+			return left > 0
+		})
+	}
+}
+
+// deltaFrom is the shared core of From, DeltaOrder, and DeltaRange: the
+// canonical offset-addressed walk, annotated with the changed process
+// index (-1 at block starts and resume entry points).
+func (s Space) deltaFrom(offset int, yield func(int, *model.Adversary, int) bool) {
+	if s.Validate() != nil || offset < 0 {
+		return
+	}
+	block := s.inputCount()
+	seen := make(map[string]struct{})
+	keyBuf := make([]byte, 0, 64)
+	var slab advSlab
+	idx := 0
+	s.forEachPattern(func(fp *model.FailurePattern, crashers []model.Proc) bool {
+		// Dedup on the raw pattern's binary fingerprint: it strips
+		// unobservable deliveries during encoding, so it equals the
+		// canonical pattern's fingerprint without building it. The
+		// enumeration hands over the crasher subset already sorted, so
+		// the fingerprint skips its map-collect-and-sort prologue.
+		keyBuf = fp.AppendFingerprintSorted(keyBuf[:0], crashers)
+		if _, dup := seen[string(keyBuf)]; dup {
+			return true
+		}
+		seen[string(keyBuf)] = struct{}{}
+		if idx+block <= offset {
+			idx += block // fast-skip: the whole block precedes the offset
+			return true
+		}
+		canon := fp.Canonical()
+		start := 0
+		if idx < offset {
+			start = offset - idx
+		}
+		cont := true
+		s.forEachInputsDeltaFrom(start, func(i int, inputs []model.Value, changed int) bool {
+			cont = yield(idx+i, slab.carve(inputs, canon), changed)
+			return cont
+		})
+		idx += block
+		return cont
+	})
+}
+
+// PatternBlock returns the number of consecutive offsets each canonical
+// failure pattern spans in the enumeration order: len(Values)^N. Sharded
+// consumers align chunk boundaries to multiples of it so that within a
+// chunk every adversary after the first differs from its predecessor in a
+// single input value.
+func (s Space) PatternBlock() int {
+	if s.Validate() != nil {
+		return 1
+	}
+	return s.inputCount()
 }
 
 // Range yields the window [offset, offset+limit) of the enumeration of
@@ -211,8 +290,11 @@ func (s Space) Adversaries() ([]*model.Adversary, error) {
 }
 
 // forEachPattern enumerates failure patterns: every subset of processes of
-// size ≤ T, every assignment of crash rounds, every delivery subset.
-func (s Space) forEachPattern(fn func(*model.FailurePattern) bool) {
+// size ≤ T, every assignment of crash rounds, every delivery subset. fn
+// additionally receives the crasher subset in increasing order — exactly
+// the pattern's faulty set — so dedup consumers fingerprint without
+// re-collecting it from the pattern's map.
+func (s Space) forEachPattern(fn func(*model.FailurePattern, []model.Proc) bool) {
 	var crashers []model.Proc
 	var rec func(next int) bool
 	rec = func(next int) bool {
@@ -237,27 +319,39 @@ func (s Space) forEachPattern(fn func(*model.FailurePattern) bool) {
 }
 
 // forEachConfig enumerates, for a fixed crasher subset, all crash rounds
-// and delivery sets.
-func (s Space) forEachConfig(crashers []model.Proc, fn func(*model.FailurePattern) bool) bool {
+// and delivery sets. The pattern handed to fn is mutated in place between
+// calls — its delivery sets included — so fn must not retain it (dedup
+// survivors materialize a Canonical copy).
+func (s Space) forEachConfig(crashers []model.Proc, fn func(*model.FailurePattern, []model.Proc) bool) bool {
 	fp := model.NewFailurePattern(s.N)
 	var rec func(idx int) bool
 	rec = func(idx int) bool {
 		if idx == len(crashers) {
-			return fn(fp)
+			return fn(fp, crashers)
 		}
 		p := crashers[idx]
-		others := make([]model.Proc, 0, s.N-1)
-		for q := 0; q < s.N; q++ {
-			if q != p {
-				others = append(others, q)
-			}
-		}
+		d := bitset.New(s.N)
+		dw := d.Words()
 		for round := 1; round <= s.MaxRound; round++ {
-			for mask := 0; mask < 1<<uint(len(others)); mask++ {
-				d := bitset.New(s.N)
-				for b, q := range others {
-					if mask&(1<<uint(b)) != 0 {
-						d.Add(q)
+			for mask := 0; mask < 1<<uint(s.N-1); mask++ {
+				// The mask enumerates delivery subsets of the other N−1
+				// processes; spreading it around a zero bit at p maps mask
+				// bit b to process b for b < p and to b+1 past it — the
+				// same assignment the per-bit loop over "others" made, as
+				// one word operation when the set is single-word.
+				if len(dw) == 1 {
+					low := uint64(mask) & (1<<uint(p) - 1)
+					dw[0] = low | uint64(mask)>>uint(p)<<uint(p+1)
+				} else {
+					d.Clear()
+					for b := 0; b < s.N-1; b++ {
+						if mask&(1<<uint(b)) != 0 {
+							q := b
+							if b >= p {
+								q = b + 1
+							}
+							d.Add(q)
+						}
 					}
 				}
 				fp.Crashes[p] = model.Crash{Round: round, Delivered: d}
@@ -274,35 +368,77 @@ func (s Space) forEachConfig(crashers []model.Proc, fn func(*model.FailurePatter
 
 // forEachInputsFrom enumerates input vectors over s.Values beginning at
 // the start-th vector, calling fn with each vector's index within the
-// block. The order is big-endian base-len(Values): process 0 is the most
-// significant digit, so the vector at index i is decoded directly instead
-// of enumerated up to.
+// block. It is forEachInputsDeltaFrom with the changed index discarded.
 func (s Space) forEachInputsFrom(start int, fn func(int, []model.Value) bool) bool {
+	return s.forEachInputsDeltaFrom(start, func(i int, inputs []model.Value, _ int) bool {
+		return fn(i, inputs)
+	})
+}
+
+// forEachInputsDeltaFrom enumerates input vectors over s.Values beginning
+// at the start-th vector, calling fn with each vector's index within the
+// block and the index of the single process whose value differs from the
+// previous vector (-1 for the first vector yielded, which has no
+// predecessor in this traversal).
+//
+// The order is the reflected mixed-radix Gray code over base len(Values)
+// with process 0 as the most significant digit: consecutive vectors differ
+// in exactly one digit, by one position up or down s.Values. The vector at
+// index i is decoded directly from the plain base-b expansion a[0..N-1] of
+// i: scanning most-significant first with a reflection flag that starts
+// clear, digit j is a[j] (flag clear) or b-1-a[j] (flag set), and the flag
+// toggles whenever the decoded digit is odd — an odd digit at level j
+// means the levels below run through their sub-sequence reversed. Resuming
+// mid-block therefore costs O(N), and the flag at each level is the
+// digit's current sweep direction.
+func (s Space) forEachInputsDeltaFrom(start int, fn func(int, []model.Value, int) bool) bool {
 	base := len(s.Values)
-	digits := make([]int, s.N)
+	// One backing array for both per-digit tables: this runs once per
+	// pattern block, and the enumeration's allocation profile is pinned
+	// by benchmarks.
+	scratch := make([]int, 2*s.N)
+	digits, dirs := scratch[:s.N], scratch[s.N:]
 	for i, rem := s.N-1, start; i >= 0; i-- {
 		digits[i] = rem % base
 		rem /= base
 	}
-	inputs := make([]model.Value, s.N)
-	for i := start; ; i++ {
-		for j, d := range digits {
-			inputs[j] = s.Values[d]
+	flip := false
+	for j := 0; j < s.N; j++ {
+		if flip {
+			digits[j] = base - 1 - digits[j]
+			dirs[j] = -1
+		} else {
+			dirs[j] = 1
 		}
-		if !fn(i, inputs) {
+		if digits[j]&1 == 1 {
+			flip = !flip
+		}
+	}
+	inputs := make([]model.Value, s.N)
+	for j, d := range digits {
+		inputs[j] = s.Values[d]
+	}
+	changed := -1
+	for i := start; ; i++ {
+		if !fn(i, inputs, changed) {
 			return false
 		}
-		// Increment the odometer; carry past digit 0 ends the block.
+		// Step: move the least significant digit that can advance in its
+		// current direction; digits that cannot reverse direction instead.
+		// A step changes exactly one digit — that digit's process index is
+		// reported as changed. No digit able to move ends the block.
 		j := s.N - 1
 		for ; j >= 0; j-- {
-			digits[j]++
-			if digits[j] < base {
+			if next := digits[j] + dirs[j]; next >= 0 && next < base {
+				digits[j] = next
+				inputs[j] = s.Values[next]
 				break
 			}
-			digits[j] = 0
+			dirs[j] = -dirs[j]
 		}
 		if j < 0 {
 			return true
 		}
+		changed = j
 	}
 }

@@ -1,6 +1,8 @@
 package knowledge
 
 import (
+	"setconsensus/internal/model"
+
 	"math/rand"
 	"testing"
 )
@@ -19,14 +21,25 @@ func BenchmarkBuildArena(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildArenaReused measures the same-pattern revive path: the
+// two adversaries share a failure pattern but differ in two inputs, so
+// every Build refills the spare's value layer in place (more than one
+// diff defeats the patch kernel, an identical vector would hit the
+// zero-diff skip, and either would understate a real rebuild).
 func BenchmarkBuildArenaReused(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	adv := randomAdversary(rng, 10, 6, 4, 3)
+	other := flip(flip(adv, 0, adv.Inputs[0]^1), 1, adv.Inputs[1]^1)
 	builder := NewBuilder()
+	builder.Build(adv, 6).Release()
+	pair := [2]*model.Adversary{other, adv}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		builder.Build(adv, 6).Release()
+		builder.Build(pair[i&1], 6).Release()
+	}
+	if _, revived, _ := builder.TakeCounts(); revived != b.N {
+		b.Fatalf("revived %d of %d builds — revive path not taken", revived, b.N)
 	}
 }
 
@@ -52,5 +65,29 @@ func BenchmarkPersists(b *testing.B) {
 		for p := 0; p < 10; p++ {
 			g.Persists(p, 6, 1, 6)
 		}
+	}
+}
+
+// BenchmarkDeltaPatch is the patch kernel against the full rebuild it
+// replaces (BenchmarkBuildArenaReused, same adversary size): the builder
+// holds a spare of the same failure pattern and every iteration flips a
+// single input, so Build takes the one-diff patch path — only the value
+// and knowledge words of the views that ever see the changed process are
+// rewritten — instead of refilling the whole arena.
+func BenchmarkDeltaPatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	adv := randomAdversary(rng, 10, 6, 4, 3)
+	flipped := flip(adv, 0, adv.Inputs[0]^1)
+	builder := NewBuilder()
+	builder.Build(adv, 6).Release()
+	pair := [2]*model.Adversary{flipped, adv}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder.Build(pair[i&1], 6).Release()
+	}
+	built, _, patched := builder.TakeCounts()
+	if built != 1 || patched != b.N {
+		b.Fatalf("built=%d patched=%d over %d iterations — patch path not taken", built, patched, b.N)
 	}
 }

@@ -56,12 +56,14 @@ type Builder struct {
 	scHorizon int
 	scN       int
 
-	// built and revived count the full builds and revive fast-path hits
-	// this builder has served. A Builder belongs to one worker, so plain
-	// ints suffice; engines harvest them with TakeCounts when the worker
-	// returns its kit, turning per-build bookkeeping into two adds.
+	// built, revived, and patched count the full builds, revive
+	// fast-path hits, and delta-patch hits this builder has served. A
+	// Builder belongs to one worker, so plain ints suffice; engines
+	// harvest them with TakeCounts when the worker returns its kit,
+	// turning per-build bookkeeping into three adds.
 	built   int
 	revived int
+	patched int
 
 	// meter, when set, observes every storage byte this builder's graphs
 	// hold; accounted is the running total reported and not yet
@@ -130,41 +132,37 @@ func (st *storage) bytes() int64 {
 // are recomputed.
 func (b *Builder) Build(adv *model.Adversary, horizon int) *Graph {
 	if g := b.revive(adv, horizon); g != nil {
-		b.revived++
 		return g
 	}
 	b.built++
 	return build(adv, horizon, &b.sc, b)
 }
 
-// TakeCounts returns the full-build and revive counts accumulated since
-// the last call and resets them. Engines fold the counts into their
+// TakeCounts returns the full-build, revive, and patch counts accumulated
+// since the last call and resets them. Engines fold the counts into their
 // observability counters when a worker's builder is returned to the
 // pool.
-func (b *Builder) TakeCounts() (built, revived int) {
-	built, revived = b.built, b.revived
-	b.built, b.revived = 0, 0
-	return built, revived
+func (b *Builder) TakeCounts() (built, revived, patched int) {
+	built, revived, patched = b.built, b.revived, b.patched
+	b.built, b.revived, b.patched = 0, 0, 0
+	return built, revived, patched
 }
 
-// revive reattaches the released spare graph for a same-pattern,
-// same-horizon rebuild: the views, knownCrash, and hidden tables depend
-// only on the failure pattern and are reused verbatim; the value region
-// of the arena is zeroed and refilled from the new inputs. Returns nil
-// when the spare does not match (different pattern, horizon, process
-// count, or inputs too wide for the reused value-set layout) — the
-// caller then runs a full build. Reviving additionally requires the
-// builder's scratch to still describe this pattern's full build
-// (scPat/scHorizon/scN): fillValues reads the crash rounds and layer-0
-// offsets from it, and a full build over a different adversary between
-// Release and rebuild overwrites them.
-func (b *Builder) revive(adv *model.Adversary, horizon int) *Graph {
+// spareMatches reports whether the parked spare graph can be rebuilt for
+// adv at horizon: same pattern (by pointer — patterns are immutable by
+// repo-wide contract), same horizon and process count, scratch still
+// describing that pattern's full build, and adv's inputs narrow enough
+// for the reused value-set layout. When it can, changed and diffs
+// describe how adv's inputs differ from the spare's: diffs is the number
+// of differing positions capped at 2, and changed is the single differing
+// index when diffs == 1 (-1 when diffs == 0).
+func (b *Builder) spareMatches(adv *model.Adversary, horizon int) (changed, diffs int, ok bool) {
 	g := b.spareG
 	if g == nil || !b.hasSpare || adv.Pattern != b.lastPat || horizon != g.Horizon || adv.N() != g.n {
-		return nil
+		return -1, 0, false
 	}
 	if b.scPat != adv.Pattern || b.scHorizon != horizon || b.scN != adv.N() {
-		return nil
+		return -1, 0, false
 	}
 	maxV := -1
 	for _, v := range adv.Inputs {
@@ -173,8 +171,29 @@ func (b *Builder) revive(adv *model.Adversary, horizon int) *Graph {
 		}
 	}
 	if maxV >= 0 && (maxV>>6)+1 > g.wv {
-		return nil
+		return -1, 0, false
 	}
+	changed = -1
+	old := g.Adv.Inputs
+	for p, v := range adv.Inputs {
+		if v != old[p] {
+			changed = p
+			if diffs++; diffs > 1 {
+				changed = -1
+				break
+			}
+		}
+	}
+	return changed, diffs, true
+}
+
+// attachSpare reattaches the released spare graph's storage for adv and
+// re-slices the int tables over it. The value region is left exactly as
+// the spare parked it — still describing the spare's old inputs — so the
+// caller decides how much of it to recompute: nothing (identical inputs),
+// the touched rows (single-input patch), or all of it (revive refill).
+func (b *Builder) attachSpare(adv *model.Adversary) *Graph {
+	g := b.spareG
 	g.store = b.spare
 	b.spare, b.hasSpare, b.spareG, b.lastPat = storage{}, false, nil, nil
 	g.owner = b
@@ -188,11 +207,64 @@ func (b *Builder) revive(adv *model.Adversary, horizon int) *Graph {
 	g.hc = ints[kcLen+hidLen : kcLen+hidLen+nodes]
 	g.fails = ints[kcLen+hidLen+nodes : kcLen+hidLen+2*nodes]
 	g.minVal = ints[kcLen+hidLen+2*nodes : kcLen+hidLen+3*nodes]
-	vals := g.store.arena[g.valsOff : g.valsOff+nodes*g.wv]
-	for i := range vals {
-		vals[i] = 0
+	g.cr = ints[kcLen+hidLen+3*nodes : kcLen+hidLen+3*nodes+g.n]
+	return g
+}
+
+// revive reattaches the released spare graph for a same-pattern,
+// same-horizon rebuild: the views, knownCrash, and hidden tables depend
+// only on the failure pattern and are reused verbatim, and the value
+// layer is recomputed as cheaply as the input diff allows. Identical
+// inputs keep the parked value rows untouched; a single differing input
+// takes the patch kernel, rewriting only the rows of views that have
+// seen the changed process (both counted as patched); anything wider
+// zeroes the value region and refills it (counted as revived). Returns
+// nil when the spare does not match (different pattern, horizon, process
+// count, stale scratch, or inputs too wide for the reused value-set
+// layout) — the caller then runs a full build.
+func (b *Builder) revive(adv *model.Adversary, horizon int) *Graph {
+	changed, diffs, ok := b.spareMatches(adv, horizon)
+	if !ok {
+		return nil
 	}
-	fillValues(g, &b.sc)
+	g := b.attachSpare(adv)
+	switch diffs {
+	case 0:
+		b.patched++
+	case 1:
+		patchValues(g, &b.sc, changed)
+		b.patched++
+	default:
+		nodes := (g.Horizon + 1) * g.n
+		vals := g.store.arena[g.valsOff : g.valsOff+nodes*g.wv]
+		for i := range vals {
+			vals[i] = 0
+		}
+		fillValues(g, &b.sc)
+		b.revived++
+	}
+	return g
+}
+
+// Patch is the explicit form of the delta fast path Build engages
+// automatically: it reattaches the released spare graph for adv and
+// rewrites only the value rows of views that have seen changedProc,
+// using the per-pattern touched-views table the pattern's full build
+// precomputed. It returns nil — never falling back to a refill or a full
+// build — when the kernels do not apply: no matching spare (pattern,
+// horizon, process count, stale scratch, or value width), or the spare's
+// inputs differ from adv's anywhere but changedProc. Identical inputs
+// succeed trivially (the parked value rows are already correct).
+func (b *Builder) Patch(adv *model.Adversary, horizon, changedProc int) *Graph {
+	changed, diffs, ok := b.spareMatches(adv, horizon)
+	if !ok || diffs > 1 || (diffs == 1 && changed != changedProc) {
+		return nil
+	}
+	g := b.attachSpare(adv)
+	if diffs == 1 {
+		patchValues(g, &b.sc, changed)
+	}
+	b.patched++
 	return g
 }
 
@@ -214,7 +286,7 @@ func (g *Graph) Release() {
 	if o.meter != nil && !o.meter.Retain() {
 		o.account(-g.store.bytes())
 		g.store = storage{}
-		g.knownCrash, g.hiddenCount, g.hc, g.fails, g.minVal = nil, nil, nil, nil, nil
+		g.knownCrash, g.hiddenCount, g.hc, g.fails, g.minVal, g.cr = nil, nil, nil, nil, nil, nil
 		g.owner = nil
 		return
 	}
@@ -223,7 +295,7 @@ func (g *Graph) Release() {
 	o.spareG = g
 	o.lastPat = g.Adv.Pattern
 	g.store = storage{}
-	g.knownCrash, g.hiddenCount, g.hc, g.fails, g.minVal = nil, nil, nil, nil, nil
+	g.knownCrash, g.hiddenCount, g.hc, g.fails, g.minVal, g.cr = nil, nil, nil, nil, nil, nil
 	g.owner = nil
 }
 
@@ -244,6 +316,18 @@ type buildScratch struct {
 	deadW []uint64      // slab behind dead
 	crash [][]crasher   // crash[ρ] = processes crashing in round ρ
 	bkt   [][]int       // bkt[ρ] = {j : knownCrash(j) == ρ} while filling hidden tables
+
+	// touched-views table (CSR): touchNodes[touchOff[p]:touchOff[p+1]]
+	// lists, in increasing node order, every node whose layer-0 view
+	// contains process p — exactly the nodes whose value row depends on
+	// p's input. Pattern-derived (layer-0 membership never depends on
+	// inputs), so it is precomputed once per full build and shares the
+	// scratch's scPat/scHorizon/scN validity; patchValues walks one row
+	// of it instead of every node. Increasing node order guarantees a
+	// frozen node's predecessor — same layer-0 block, hence same
+	// membership — is patched before the frozen node copies its row.
+	touchOff   []int
+	touchNodes []int
 
 	// word-width frontier sets, re-wrapped over the slabs below per build
 	seen, assigned, u, newly, gset bitset.Set
@@ -403,7 +487,7 @@ func build(adv *model.Adversary, horizon int, sc *buildScratch, owner *Builder) 
 	nodes := (h + 1) * n
 	kcLen := nodes * n
 	hidLen := nodes * (h + 1)
-	intsLen := kcLen + hidLen + 3*nodes
+	intsLen := kcLen + hidLen + 3*nodes + n
 
 	var st storage
 	if owner != nil && owner.hasSpare {
@@ -425,6 +509,8 @@ func build(adv *model.Adversary, horizon int, sc *buildScratch, owner *Builder) 
 	g.hc = ints[kcLen+hidLen : kcLen+hidLen+nodes]
 	g.fails = ints[kcLen+hidLen+nodes : kcLen+hidLen+2*nodes]
 	g.minVal = ints[kcLen+hidLen+2*nodes : kcLen+hidLen+3*nodes]
+	g.cr = ints[kcLen+hidLen+3*nodes : kcLen+hidLen+3*nodes+n]
+	copy(g.cr, sc.cr)
 	arena := g.store.arena
 
 	// ---- views ----
@@ -567,8 +653,92 @@ func build(adv *model.Adversary, horizon int, sc *buildScratch, owner *Builder) 
 		}
 	}
 
+	if owner != nil {
+		sc.buildTouch(arena, n, w, nodes)
+	}
 	fillValues(g, sc)
 	return g
+}
+
+// buildTouch precomputes the per-pattern touched-views table: for each
+// process p, the nodes whose layer-0 view contains p, in increasing node
+// order. Two passes over the layer-0 words (count, then fill) lay the
+// lists out as CSR in two reused int slabs; the end-cursor trick turns
+// the fill cursors back into offsets with one shift.
+func (sc *buildScratch) buildTouch(arena []uint64, n, w, nodes int) {
+	sc.touchOff = resizeInts(sc.touchOff, n+1)
+	for p := 0; p <= n; p++ {
+		sc.touchOff[p] = 0
+	}
+	for node := 0; node < nodes; node++ {
+		layer0 := arena[sc.base[node] : sc.base[node]+w]
+		for wi, word := range layer0 {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				sc.touchOff[wi*64+b+1]++
+			}
+		}
+	}
+	for p := 0; p < n; p++ {
+		sc.touchOff[p+1] += sc.touchOff[p]
+	}
+	sc.touchNodes = resizeInts(sc.touchNodes, sc.touchOff[n])
+	for node := 0; node < nodes; node++ {
+		layer0 := arena[sc.base[node] : sc.base[node]+w]
+		for wi, word := range layer0 {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				p := wi*64 + b
+				sc.touchNodes[sc.touchOff[p]] = node
+				sc.touchOff[p]++
+			}
+		}
+	}
+	copy(sc.touchOff[1:], sc.touchOff[:n])
+	sc.touchOff[0] = 0
+}
+
+// patchValues rewrites the value rows of exactly the nodes whose layer-0
+// view contains changed — the only rows that can depend on its input —
+// leaving every other row as the previous adversary left it. Each
+// touched active node zeroes and recomputes its row as fillValues would;
+// touched frozen nodes copy their predecessor's row, already patched
+// because the touched-views list is in increasing node order.
+func patchValues(g *Graph, sc *buildScratch, changed int) {
+	adv := g.Adv
+	n, w, wv, valsOff := g.n, g.w, g.wv, g.valsOff
+	arena := g.store.arena
+	for _, node := range sc.touchNodes[sc.touchOff[changed]:sc.touchOff[changed+1]] {
+		m, i := node/n, node%n
+		vrow := arena[valsOff+node*wv : valsOff+(node+1)*wv]
+		if m > 0 && sc.cr[i] <= m {
+			copy(vrow, arena[valsOff+(node-n)*wv:valsOff+(node-n+1)*wv])
+			g.minVal[node] = g.minVal[node-n]
+			continue
+		}
+		for x := range vrow {
+			vrow[x] = 0
+		}
+		minV := model.Value(NoKnownCrash)
+		layer0 := arena[sc.base[node] : sc.base[node]+w]
+		for wi, word := range layer0 {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				v := adv.Inputs[wi*64+b]
+				if v < 0 {
+					continue
+				}
+				vrow[v>>6] |= 1 << uint(v&63)
+				if v < minV {
+					minV = v
+				}
+			}
+		}
+		g.minVal[node] = minV
+	}
 }
 
 // fillValues computes the input-dependent tables — per-node value sets

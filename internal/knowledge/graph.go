@@ -94,6 +94,7 @@ type Graph struct {
 	hc          []int         // [node] = HC⟨i,m⟩ (Definition 2)
 	fails       []int         // [node] = #processes provably crashed (d of Definition 3)
 	minVal      []model.Value // [node] = Min⟨i,m⟩, NoKnownCrash when Vals is empty
+	cr          []int         // [j] = crash round of j (model.NoCrash if correct), hoisted off the pattern map
 
 	// sendersOnce guards the lazy build of store.senders —
 	// senders[(ρ*n+h)*w : +w] = {j : Delivered(j,h,ρ)} — which only
@@ -104,19 +105,40 @@ type Graph struct {
 // node maps (i,m) to its flat table index, panicking on out-of-range
 // coordinates: the old nested slices crashed on bad indices, and the
 // stride arithmetic must not quietly alias another node's data instead.
+// The panic body lives in badNode so node itself stays within the
+// inlining budget — it runs on every graph query, and a call frame per
+// bounds check is measurable across a sweep.
 func (g *Graph) node(i model.Proc, m int) int {
-	if i < 0 || i >= g.n || m < 0 || m > g.Horizon {
-		panic(fmt.Sprintf("knowledge: node ⟨%d,%d⟩ outside %d processes × horizon %d", i, m, g.n, g.Horizon))
+	// Unsigned compares fold each "negative or too large" pair into one
+	// branch, and the panic value renders itself lazily: both keep this
+	// under the inlining budget, where a fmt.Sprintf call would not.
+	if uint(i) >= uint(g.n) || uint(m) > uint(g.Horizon) {
+		panic(&nodeError{i, m, g.n, g.Horizon})
 	}
 	return m*g.n + i
 }
 
+// nodeError is the panic value of an out-of-range node query; the
+// message is built only when the panic is printed or inspected.
+type nodeError struct{ i, m, n, horizon int }
+
+func (e *nodeError) Error() string {
+	return fmt.Sprintf("knowledge: node ⟨%d,%d⟩ outside %d processes × horizon %d", e.i, e.m, e.n, e.horizon)
+}
+
 // proc bounds-checks a process argument j the same way.
 func (g *Graph) proc(j model.Proc) model.Proc {
-	if j < 0 || j >= g.n {
-		panic(fmt.Sprintf("knowledge: process %d outside 0..%d", j, g.n-1))
+	if uint(j) >= uint(g.n) {
+		panic(&procError{j, g.n})
 	}
 	return j
+}
+
+// procError is the panic value of an out-of-range process argument.
+type procError struct{ j, n int }
+
+func (e *procError) Error() string {
+	return fmt.Sprintf("knowledge: process %d outside 0..%d", e.j, e.n-1)
 }
 
 // New computes the communication graph and all views of adv up to time
@@ -274,12 +296,22 @@ func (g *Graph) LastSeen(i model.Proc, m int, j model.Proc) int {
 	return -1
 }
 
+// CrashRound returns j's crash round under the graph's adversary, or
+// model.NoCrash if j never crashes — the pattern map lookup hoisted into
+// a flat table at build time, for decision rules running once per
+// (node, sweep adversary).
+func (g *Graph) CrashRound(j model.Proc) int { return g.cr[g.proc(j)] }
+
+// Active reports whether i is still active (has not crashed) in round m
+// under the graph's adversary — Pattern.Active off the hoisted table.
+func (g *Graph) Active(i model.Proc, m int) bool { return g.cr[g.proc(i)] > m }
+
 // Persists implements Definition 3: whether i knows at time m that value v
 // will persist, given the a-priori crash bound t. The second disjunct is
 // vacuously true once i knows of at least t failures. All queries run on
 // the precomputed tables; nothing allocates.
 func (g *Graph) Persists(i model.Proc, m int, v model.Value, t int) bool {
-	if m > 0 && g.Adv.Pattern.Active(i, m) && g.valsContains(i, m-1, v) {
+	if m > 0 && g.cr[i] > m && g.valsContains(i, m-1, v) {
 		return true
 	}
 	need := t - g.FailuresKnown(i, m)

@@ -1,0 +1,195 @@
+package knowledge
+
+import (
+	"math/rand"
+	"testing"
+
+	"setconsensus/internal/model"
+)
+
+// flip returns a copy of adv with process p's input replaced by v —
+// adversaries are immutable, so single-input walks build fresh ones.
+func flip(adv *model.Adversary, p int, v model.Value) *model.Adversary {
+	inputs := make([]model.Value, adv.N())
+	copy(inputs, adv.Inputs)
+	inputs[p] = v
+	return &model.Adversary{Inputs: inputs, Pattern: adv.Pattern}
+}
+
+// TestBuilderPatchEquivalence pins the delta fast path node for node:
+// rebuilding through one Builder over the same failure pattern with a
+// single input flipped per step — the exact accesses of a sweep walking
+// one pattern block in Gray-code delta order — must produce graphs
+// indistinguishable from the naive reference, query for query. A patch
+// kernel that misses a touched view, or touches one it should not,
+// diverges here.
+func TestBuilderPatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	b := NewBuilder()
+	for trial := 0; trial < 12; trial++ {
+		adv := randomAdversary(rng, 5, 3, 3, 3)
+		horizon := 4
+		g := b.Build(adv, horizon)
+		checkEquivalent(t, g, newReference(adv, horizon))
+		g.Release()
+		for step := 0; step < 8; step++ {
+			adv = flip(adv, rng.Intn(adv.N()), rng.Intn(4))
+			g = b.Build(adv, horizon)
+			checkEquivalent(t, g, newReference(adv, horizon))
+			g.Release()
+		}
+	}
+	built, revived, patched := b.TakeCounts()
+	// Each trial full-builds once; every flip is a 0- or 1-diff rebuild.
+	if built != 12 || revived != 0 || patched != 12*8 {
+		t.Fatalf("counts built=%d revived=%d patched=%d, want 12/0/96", built, revived, patched)
+	}
+}
+
+// TestBuilderPatchExplicit covers the exported Patch entry point: it
+// must succeed exactly when the spare matches and the inputs differ
+// nowhere but the declared process, and never fall back to a full build.
+func TestBuilderPatchExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	b := NewBuilder()
+	adv := randomAdversary(rng, 4, 2, 2, 3)
+
+	// No spare parked at all.
+	if g := b.Patch(adv, 3, 0); g != nil {
+		t.Fatal("Patch without a spare must return nil")
+	}
+	b.Build(adv, 3).Release()
+
+	// Identical inputs: trivially patchable for any declared process.
+	g := b.Patch(adv, 3, 2)
+	if g == nil {
+		t.Fatal("Patch with identical inputs must succeed")
+	}
+	checkEquivalent(t, g, newReference(adv, 3))
+	g.Release()
+
+	// Single flip at the declared process.
+	next := flip(adv, 1, adv.Inputs[1]^1)
+	g = b.Patch(next, 3, 1)
+	if g == nil {
+		t.Fatal("Patch with a single declared flip must succeed")
+	}
+	checkEquivalent(t, g, newReference(next, 3))
+	g.Release()
+
+	// Flip at a process other than the declared one.
+	wrong := flip(next, 2, next.Inputs[2]^1)
+	if g := b.Patch(wrong, 3, 0); g != nil {
+		t.Fatal("Patch must reject a flip at an undeclared process")
+	}
+
+	// Two flips at once.
+	two := flip(flip(next, 0, next.Inputs[0]^1), 2, next.Inputs[2]^1)
+	if g := b.Patch(two, 3, 0); g != nil {
+		t.Fatal("Patch must reject a multi-input diff")
+	}
+
+	// Different horizon and different pattern.
+	if g := b.Patch(next, 2, 1); g != nil {
+		t.Fatal("Patch must reject a horizon mismatch")
+	}
+	other := randomAdversary(rng, 4, 2, 2, 3)
+	for other.Pattern.Fingerprint() == adv.Pattern.Fingerprint() {
+		other = randomAdversary(rng, 4, 2, 2, 3)
+	}
+	if g := b.Patch(other, 3, 0); g != nil {
+		t.Fatal("Patch must reject a pattern mismatch")
+	}
+
+	// Inputs too wide for the reused value layout.
+	widened := flip(next, 1, 70)
+	if g := b.Patch(widened, 3, 1); g != nil {
+		t.Fatal("Patch must reject inputs wider than the spare's value words")
+	}
+
+	// The rejections above must have left the spare parked and correct.
+	g = b.Patch(next, 3, 1)
+	if g == nil {
+		t.Fatal("spare must survive rejected Patch calls")
+	}
+	checkEquivalent(t, g, newReference(next, 3))
+	g.Release()
+}
+
+// TestBuilderPatchSurvivesInterleavedBuilds mirrors the revive
+// stale-scratch guard for the patch path: a full build over another
+// adversary between Release and a same-pattern single-flip rebuild
+// overwrites the scratch (and its touched-views table); both Build's
+// auto-detection and the explicit Patch must notice.
+func TestBuilderPatchSurvivesInterleavedBuilds(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	b := NewBuilder()
+	advA := randomAdversary(rng, 5, 3, 3, 3)
+	advB := randomAdversary(rng, 3, 1, 2, 2)
+
+	gA := b.Build(advA, 4)
+	gB := b.Build(advB, 2) // overwrites the scratch while gA is live
+	gA.Release()
+	advA2 := flip(advA, 0, advA.Inputs[0]^1)
+	if g := b.Patch(advA2, 4, 0); g != nil {
+		t.Fatal("Patch must reject a stale scratch")
+	}
+	gA2 := b.Build(advA2, 4) // full build: scratch describes B's pattern
+	checkEquivalent(t, gA2, newReference(advA2, 4))
+	gA2.Release()
+	gB.Release()
+}
+
+// TestBuilderPatchDegenerateEdges covers the corners of the kernel:
+// horizon 0 (only layer-0 nodes — every node with the flipped process in
+// view is itself layer 0) and a flip on a crashed process whose frozen
+// successors must copy patched predecessor rows in order.
+func TestBuilderPatchDegenerateEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	b := NewBuilder()
+
+	// Horizon 0.
+	adv := randomAdversary(rng, 4, 2, 3, 3)
+	b.Build(adv, 0).Release()
+	for p := 0; p < adv.N(); p++ {
+		adv = flip(adv, p, rng.Intn(4))
+		g := b.Build(adv, 0)
+		checkEquivalent(t, g, newReference(adv, 0))
+		g.Release()
+	}
+	_, _, patched := b.TakeCounts()
+	if patched == 0 {
+		t.Fatal("horizon-0 flips never took the patch path")
+	}
+
+	// Flips on every process of a pattern where every possible process
+	// crashes — maximizing frozen nodes — at a horizon past every crash.
+	adv = randomAdversary(rng, 5, 4, 2, 2)
+	b.Build(adv, 5).Release()
+	for p := 0; p < adv.N(); p++ {
+		adv = flip(adv, p, adv.Inputs[p]^1)
+		g := b.Build(adv, 5)
+		checkEquivalent(t, g, newReference(adv, 5))
+		g.Release()
+	}
+}
+
+// TestBuilderPatchAllocationFree asserts the steady state of a delta
+// walk costs no allocations: after the full build, alternating between
+// two single-flip neighbours patches in place with zero garbage.
+func TestBuilderPatchAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	b := NewBuilder()
+	a := randomAdversary(rng, 5, 3, 3, 3)
+	bAdv := flip(a, 2, a.Inputs[2]^1)
+	b.Build(a, 4).Release()
+	advs := [2]*model.Adversary{bAdv, a}
+	i := 0
+	avg := testing.AllocsPerRun(50, func() {
+		b.Build(advs[i&1], 4).Release()
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("patch build allocated %.1f objects per run, want 0", avg)
+	}
+}

@@ -296,7 +296,6 @@ func (a *Adversary) String() string {
 // growing b (up to 8 crashers sort in a stack buffer), so enumeration
 // hot loops can dedup millions of patterns through one reused buffer.
 func (f *FailurePattern) AppendFingerprint(b []byte) []byte {
-	w := (f.N + 63) >> 6
 	var stack [8]Proc
 	var procs []Proc
 	if len(f.Crashes) <= len(stack) {
@@ -308,7 +307,48 @@ func (f *FailurePattern) AppendFingerprint(b []byte) []byte {
 	} else {
 		procs = f.sortedFaulty()
 	}
+	return f.AppendFingerprintSorted(b, procs)
+}
+
+// AppendFingerprintSorted is AppendFingerprint for callers that already
+// hold the faulty processes in increasing order — the enumeration walks
+// crasher subsets in exactly that order and fingerprints every raw
+// configuration it generates, so skipping the map iteration and sort
+// that otherwise start each call matters there. procs must be exactly
+// the faulty set, ascending; the appended bytes are identical to
+// AppendFingerprint's.
+func (f *FailurePattern) AppendFingerprintSorted(b []byte, procs []Proc) []byte {
+	w := (f.N + 63) >> 6
 	var tmp [binary.MaxVarintLen64]byte
+	if w == 1 && len(procs) <= 8 {
+		// Single-word pattern: the unobservable bits — self-delivery and
+		// receivers dead at receipt time, the latter exactly the crashers
+		// with round ≤ this crash's round — strip with one mask instead
+		// of a per-bit liveness test.
+		var rounds [8]int
+		for k, p := range procs {
+			rounds[k] = f.Crashes[p].Round
+		}
+		nMask := ^uint64(0) >> uint(64-f.N)
+		for _, p := range procs {
+			c := f.Crashes[p]
+			b = append(b, tmp[:binary.PutUvarint(tmp[:], uint64(p))]...)
+			b = append(b, tmp[:binary.PutUvarint(tmp[:], uint64(c.Round))]...)
+			var word uint64
+			if dw := c.Delivered.Words(); len(dw) > 0 {
+				word = dw[0]
+			}
+			dead := uint64(1) << uint(p)
+			for k, q := range procs {
+				if rounds[k] <= c.Round {
+					dead |= 1 << uint(q)
+				}
+			}
+			binary.LittleEndian.PutUint64(tmp[:8], word&nMask&^dead)
+			b = append(b, tmp[:8]...)
+		}
+		return b
+	}
 	for _, p := range procs {
 		c := f.Crashes[p]
 		b = append(b, tmp[:binary.PutUvarint(tmp[:], uint64(p))]...)

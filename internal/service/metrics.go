@@ -25,6 +25,7 @@ type metrics struct {
 	runsPerSec    atomic.Int64 // sampled once per second
 	graphsRebuilt atomic.Int64 // harvested per finished job from EngineStats
 	graphsRevived atomic.Int64
+	graphsPatched atomic.Int64
 	runKitHits    atomic.Int64 // run-buffer kit pool hits/misses, per EngineStats
 	runKitMisses  atomic.Int64
 	chunkHits     atomic.Int64 // feeder chunk pool hits/misses, per EngineStats
@@ -47,6 +48,7 @@ func (m *metrics) snapshot() map[string]int64 {
 		"runs_per_sec":     m.runsPerSec.Load(),
 		"graphs_rebuilt":   m.graphsRebuilt.Load(),
 		"graphs_revived":   m.graphsRevived.Load(),
+		"graphs_patched":   m.graphsPatched.Load(),
 		"pool_runkit_hits": m.runKitHits.Load(),
 		"pool_runkit_miss": m.runKitMisses.Load(),
 		"pool_chunk_hits":  m.chunkHits.Load(),

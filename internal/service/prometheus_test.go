@@ -21,7 +21,10 @@ func TestPrometheusExposition(t *testing.T) {
 	if got := rec.Header().Get("Content-Type"); got != promContentType {
 		t.Fatalf("Content-Type = %q, want %q", got, promContentType)
 	}
-	want := `# HELP setconsensusd_graphs_rebuilt Knowledge graphs built from scratch on the arena-recycling path, cumulative.
+	want := `# HELP setconsensusd_graphs_patched Knowledge graphs delta-patched from the previous input assignment, cumulative.
+# TYPE setconsensusd_graphs_patched counter
+setconsensusd_graphs_patched 0
+# HELP setconsensusd_graphs_rebuilt Knowledge graphs built from scratch on the arena-recycling path, cumulative.
 # TYPE setconsensusd_graphs_rebuilt counter
 setconsensusd_graphs_rebuilt 0
 # HELP setconsensusd_graphs_revived Knowledge graphs revived from a same-pattern arena, cumulative.

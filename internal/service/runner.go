@@ -186,6 +186,7 @@ func (s *Server) run(baseCtx context.Context, j *job) {
 	st := eng.Stats()
 	s.metrics.graphsRebuilt.Add(st.GraphsRebuilt)
 	s.metrics.graphsRevived.Add(st.GraphsRevived)
+	s.metrics.graphsPatched.Add(st.GraphsPatched)
 	s.metrics.runKitHits.Add(st.RunKitHits)
 	s.metrics.runKitMisses.Add(st.RunKitMisses)
 	s.metrics.chunkHits.Add(st.ChunkHits)

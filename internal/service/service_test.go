@@ -369,7 +369,8 @@ func TestObservability(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"jobs_queued", "jobs_running", "jobs_done", "jobs_failed",
-		"jobs_cancelled", "queue_depth", "runs_total", "runs_per_sec", "graphs_rebuilt", "graphs_revived"} {
+		"jobs_cancelled", "queue_depth", "runs_total", "runs_per_sec",
+		"graphs_rebuilt", "graphs_revived", "graphs_patched"} {
 		if _, ok := stats[key]; !ok {
 			t.Errorf("stats missing %q: %v", key, stats)
 		}

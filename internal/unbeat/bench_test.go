@@ -83,3 +83,41 @@ func BenchmarkCompile(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCompileDelta isolates the steady-state delta kernels of the
+// compile stage: one pattern block of the probe space, cycled in its
+// Gray-code order, so after the priming build every adversary differs
+// from its predecessor in a single input — Build rides the patch kernel
+// and Add copies interned view ids forward wherever the view has not
+// seen the changed process. Per-adversary cost here, against
+// BenchmarkCompile's whole-space figure (which pays a full build and
+// fresh interning at every pattern boundary), is the delta machinery's
+// margin.
+func BenchmarkCompileDelta(b *testing.B) {
+	base, p := benchSearchConfig()
+	c, err := NewCompiler(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	block := p.Space.PatternBlock()
+	advs := make([]*model.Adversary, 0, block)
+	for _, d := range p.Space.DeltaOrder(0) {
+		advs = append(advs, d.Adv)
+		if len(advs) == block {
+			break
+		}
+	}
+	builder := knowledge.NewBuilder()
+	var sc sim.Scratch
+	var res sim.Result
+	builder.Build(advs[0], c.Horizon()).Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv := advs[i%block]
+		g := builder.Build(adv, c.Horizon())
+		sim.RunWithGraphInto(base, g, &sc, &res)
+		c.Add(adv, g, res.Decisions)
+		g.Release()
+	}
+}

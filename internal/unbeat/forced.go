@@ -103,7 +103,7 @@ func conditions(g *knowledge.Graph, w model.Proc, m, k int) (model.Value, []mode
 	}
 	var js []model.Proc
 	for j := 0; j < g.Adv.N() && len(js) < k; j++ {
-		if j == w || !g.Adv.Pattern.Active(j, m) || !g.Hidden(w, m, j, m) {
+		if j == w || !g.Active(j, m) || !g.Hidden(w, m, j, m) {
 			continue
 		}
 		if m > 0 && lowsOf(g, j, m-1, k).Count() != 0 {

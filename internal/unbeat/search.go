@@ -107,6 +107,18 @@ type Compiler struct {
 	runs     []*searchRun
 	fpBuf    []byte // reused fingerprint build buffer (zero-copy interning)
 
+	// prevRun supports delta reuse across consecutive Adds: when the
+	// incoming run shares the previous run's failure pattern (by pointer)
+	// and differs in at most one process's input — the enumeration's
+	// Gray-code delta order makes that the common case — every view that
+	// has not seen the changed input has a fingerprint identical to the
+	// previous run's view at the same (proc, time), so its interned id is
+	// copied instead of recomputed. Only ids already interned are reused,
+	// never assigned, so the interning order (and with it deviation
+	// ordinals and report determinism) is byte-identical to a cold
+	// compile.
+	prevRun *searchRun
+
 	// Compiled runs are carved out of block allocations: one compiled
 	// space holds thousands of runs whose row lengths are known before
 	// filling, so per-run make calls would dominate the compile stage's
@@ -136,7 +148,7 @@ func NewCompiler(p SearchParams) (*Compiler, error) {
 			maxV = v
 		}
 	}
-	return &Compiler{p: p, horizon: p.T/p.K + 1, ids: map[string]int{}, presentW: maxV>>6 + 1}, nil
+	return &Compiler{p: p, horizon: p.T/p.K + 1, ids: make(map[string]int, 1<<10), presentW: maxV>>6 + 1}, nil
 }
 
 // carve cuts an exact-capacity slice of n elements off a slab,
@@ -190,8 +202,30 @@ func (c *Compiler) Add(adv *model.Adversary, g *knowledge.Graph, decisions []*si
 	for _, v := range adv.Inputs {
 		sr.present.Add(v)
 	}
+	// Delta reuse (see prevRun): diff this run's inputs against the
+	// previous run's when the failure pattern is shared. changed is the
+	// single differing process, -1 when the inputs are identical; any
+	// wider diff (or a pattern change) disables reuse for this run.
+	prev := c.prevRun
+	changed, reuse := -1, false
+	if prev != nil && prev.adv.Pattern == adv.Pattern && prev.adv.N() == n {
+		reuse = true
+		for p, v := range adv.Inputs {
+			if v != prev.adv.Inputs[p] {
+				if changed >= 0 {
+					reuse, changed = false, -1
+					break
+				}
+				changed = p
+			}
+		}
+	}
 	for i := 0; i < n; i++ {
-		sr.correct[i] = adv.Pattern.Correct(i)
+		if reuse {
+			sr.correct[i] = prev.correct[i] // pattern-derived: same pattern, same answer
+		} else {
+			sr.correct[i] = adv.Pattern.Correct(i)
+		}
 		sr.decTime[i] = -1
 		if i < len(decisions) && decisions[i] != nil {
 			sr.decTime[i] = decisions[i].Time
@@ -205,18 +239,33 @@ func (c *Compiler) Add(adv *model.Adversary, g *knowledge.Graph, decisions []*si
 				last = c.horizon
 			}
 		}
+		var prow []int
+		if reuse {
+			prow = prev.seq[i]
+		}
 		row := carve(&c.intSlab, last+1, compileSlabRuns*n*(c.horizon+2))
 		for m := 0; m <= last; m++ {
-			// Interning is the compile hot path: the fingerprint is built
-			// into the compiler's reused buffer and looked up zero-copy;
-			// only a first-seen view materializes a key string.
-			c.fpBuf = g.AppendFingerprint(c.fpBuf[:0], i, m)
-			id, ok := c.ids[string(c.fpBuf)]
-			if !ok {
-				id = len(c.viewVals)
-				c.ids[string(c.fpBuf)] = id
-				c.viewVals = append(c.viewVals, g.Vals(i, m))
-				c.viewPre = append(c.viewPre, false)
+			var id int
+			if m < len(prow) && (changed < 0 || !g.Seen(i, m, changed, 0)) {
+				// The view has not seen the changed input (or nothing
+				// changed): its fingerprint — layers and sender masks are
+				// pattern-fixed, and it encodes only the inputs of layer-0
+				// processes — matches the previous run's view here, whose
+				// id is already interned.
+				id = prow[m]
+			} else {
+				// Interning is the compile hot path: the fingerprint is
+				// built into the compiler's reused buffer and looked up
+				// zero-copy; only a first-seen view materializes a key
+				// string.
+				c.fpBuf = g.AppendFingerprint(c.fpBuf[:0], i, m)
+				var ok bool
+				if id, ok = c.ids[string(c.fpBuf)]; !ok {
+					id = len(c.viewVals)
+					c.ids[string(c.fpBuf)] = id
+					c.viewVals = append(c.viewVals, g.Vals(i, m))
+					c.viewPre = append(c.viewPre, false)
+				}
 			}
 			if m < sr.decTime[i] || sr.decTime[i] < 0 {
 				c.viewPre[id] = true
@@ -226,6 +275,7 @@ func (c *Compiler) Add(adv *model.Adversary, g *knowledge.Graph, decisions []*si
 		sr.seq[i] = row
 	}
 	c.runs = append(c.runs, sr)
+	c.prevRun = sr
 }
 
 // Compiled seals the compiler into the shard/test stages' input: the

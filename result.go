@@ -156,7 +156,7 @@ func newResultInto(buf *RunBuffer, req *RunRequest, backend BackendKind, decisio
 func graphStats(g *knowledge.Graph) *GraphStats {
 	gs := &GraphStats{Horizon: g.Horizon}
 	for i := 0; i < g.Adv.N(); i++ {
-		if !g.Adv.Pattern.Active(i, g.Horizon) {
+		if !g.Active(i, g.Horizon) {
 			continue
 		}
 		if hc := g.HiddenCapacity(i, g.Horizon); hc > gs.MaxHiddenCapacity {

@@ -42,6 +42,19 @@ type RangeSeq interface {
 	SeqRange(offset, limit int) iter.Seq[*Adversary]
 }
 
+// PatternBlocked is the optional Source refinement behind delta-aware
+// chunking: PatternBlock reports the stride (in stream offsets) at which
+// the source's failure pattern changes. Within a stride every adversary
+// after the first differs from its predecessor in a single input value
+// (the enumeration's Gray-code delta order), so sweep executors align
+// worker chunk boundaries to multiples of it — full knowledge-graph
+// builds then happen only where the pattern changes, and every other
+// adversary rides the builder's patch kernel. Sources with no such
+// structure report 1 (or simply do not implement the interface).
+type PatternBlocked interface {
+	PatternBlock() int
+}
+
 // rangeSource scopes another source to an offset window — the work unit
 // of a coordinated sweep: each worker sweeps one range of the shared
 // space and the coordinator merges the partial Summaries.
@@ -102,6 +115,20 @@ func (s *rangeSource) CountUpperBound() float64 {
 		}
 	}
 	return ub
+}
+
+// PatternBlock forwards the underlying source's pattern-block stride
+// when this window starts on a block boundary — a coordinator carving a
+// space into block-aligned ranges keeps delta-aware chunking in every
+// shard. A window starting mid-block reports 1: its local offsets are
+// shifted against the stride, so alignment would be wrong.
+func (s *rangeSource) PatternBlock() int {
+	if pb, ok := s.src.(PatternBlocked); ok {
+		if b := pb.PatternBlock(); b > 1 && s.offset%b == 0 {
+			return b
+		}
+	}
+	return 1
 }
 
 func (s *rangeSource) Seq() iter.Seq[*Adversary] {
@@ -197,6 +224,11 @@ func (s *spaceSource) Count() (int, bool) { return 0, false }
 // adversary is enumerated.
 func (s *spaceSource) CountUpperBound() float64 { return s.space.CountUpperBound() }
 
+// PatternBlock reports the space's pattern-block stride, len(Values)^N:
+// the enumeration emits each canonical failure pattern's input vectors
+// as that many consecutive offsets, in Gray-code delta order.
+func (s *spaceSource) PatternBlock() int { return s.space.PatternBlock() }
+
 // SeqRange resumes the canonical enumeration at offset and yields at
 // most limit adversaries (enum.Space.Range) — the RangeSeq refinement
 // that lets coordinated sweeps shard one exhaustive space into offset
@@ -285,6 +317,16 @@ func (s *limitSource) Count() (int, bool) {
 	}
 	return s.n, true
 }
+
+// PatternBlock forwards the underlying stride: truncation keeps the
+// stream aligned (it always starts at offset 0).
+func (s *limitSource) PatternBlock() int {
+	if pb, ok := s.src.(PatternBlocked); ok {
+		return pb.PatternBlock()
+	}
+	return 1
+}
+
 func (s *limitSource) Seq() iter.Seq[*Adversary] {
 	return func(yield func(*Adversary) bool) {
 		// Check the budget before pulling: producing the element past the

@@ -261,3 +261,49 @@ func TestSweepSourceRecycledGraphsGolden(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepSourceMetersPatches pins the delta-order sweep's build
+// economics exactly: on a pattern-block-aligned sweep of an exhaustive
+// space with the graph cache disabled, the engine performs one full
+// knowledge-graph build per canonical failure pattern and patches every
+// other adversary of the block (same pattern, one input changed). Any
+// drift — a chunk boundary landing mid-block, a patch silently falling
+// back to a rebuild, a revive sneaking in without a cache — breaks an
+// equality here.
+func TestSweepSourceMetersPatches(t *testing.T) {
+	space := setconsensus.Space{N: 3, T: 2, MaxRound: 2, Values: []int{0, 1}}
+	refs := []string{"upmin"}
+	for _, workers := range []int{1, 4} {
+		eng := setconsensus.New(
+			setconsensus.WithCrashBound(2),
+			setconsensus.WithGraphCache(0),
+			setconsensus.WithParallelism(workers),
+		)
+		src, err := setconsensus.SpaceSource(space)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := eng.SweepSource(context.Background(), refs, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := sum.Runs() / len(refs)
+		block := space.PatternBlock()
+		if block <= 1 || total%block != 0 {
+			t.Fatalf("space yields %d adversaries, not a multiple of block %d", total, block)
+		}
+		patterns := int64(total / block)
+		st := eng.Stats()
+		if st.GraphsRebuilt != patterns {
+			t.Errorf("workers=%d: GraphsRebuilt = %d, want one per pattern (%d)",
+				workers, st.GraphsRebuilt, patterns)
+		}
+		if st.GraphsRevived != 0 {
+			t.Errorf("workers=%d: GraphsRevived = %d without a cache", workers, st.GraphsRevived)
+		}
+		if want := int64(total) - patterns; st.GraphsPatched != want {
+			t.Errorf("workers=%d: GraphsPatched = %d, want total-patterns = %d",
+				workers, st.GraphsPatched, want)
+		}
+	}
+}
